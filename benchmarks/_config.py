@@ -1,0 +1,13 @@
+"""Scale knobs shared by the benchmark harness (see conftest.py)."""
+
+import os
+
+FULL = bool(os.environ.get("REPRO_FULL"))
+
+#: fault-simulation patterns for the classification pipeline
+PATTERNS = 1200 if FULL else 256
+#: Monte-Carlo batch size and budget for power grading
+MC_BATCH = 192 if FULL else 128
+MC_MAX_BATCHES = 12 if FULL else 4
+#: fixed test-set size for the Table-3 consistency experiment
+TESTSET = 1200 if FULL else 400

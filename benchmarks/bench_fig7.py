@@ -1,0 +1,48 @@
+"""Figure 7 -- per-SFR-fault power vs the +/-5% band, all three designs.
+
+Qualitative shape claims from the paper, asserted per panel:
+
+* (a) Diffeq: select-only faults cluster inside/near the band with small
+  effects in both directions; a substantial fraction of load-line faults
+  exceed +5%.
+* (b) Facet: shared load lines make single faults load many registers at
+  once, so load-line faults are detected at the highest rate.
+* (c) Poly: long variable lifespans leave fewer harmless extra loads, and
+  load-line detections are comparatively sparse.
+"""
+
+from repro.core.report import figure7_series, render_figure7
+
+
+def test_fig7_all_designs(benchmark, gradings, save_result):
+    def run():
+        return {name: figure7_series(g) for name, g in gradings.items()}
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(render_figure7(gradings[name]) for name in ("diffeq", "facet", "poly"))
+    save_result("figure7", text)
+
+    # --- panel (a): diffeq --------------------------------------------------
+    d = gradings["diffeq"].summary()
+    assert d["n_select_only"] > 0 and d["n_load"] > 0
+    # most select-only faults stay inside the band
+    assert d["select_detected"] <= d["n_select_only"] // 2
+    assert d["load_detected"] >= 3
+    # select effects go both directions
+    sel_pcts = [g.pct_change for g in gradings["diffeq"].group("select")]
+    assert min(sel_pcts) < 0 < max(sel_pcts)
+
+    # --- panel (b): facet ---------------------------------------------------
+    f = gradings["facet"].summary()
+    load_rate_facet = f["load_detected"] / max(1, f["n_load"])
+    assert load_rate_facet >= 0.5, "shared load lines should detect most load faults"
+
+    # --- panel (c): poly ----------------------------------------------------
+    p = gradings["poly"].summary()
+    load_rate_poly = p["load_detected"] / max(1, p["n_load"])
+    assert load_rate_poly < load_rate_facet, "poly detects load faults at a lower rate"
+
+    # Every design: load faults only increase power.
+    for name, g in gradings.items():
+        for fault in g.group("load"):
+            assert fault.pct_change > -0.5, (name, fault.pct_change)

@@ -1,0 +1,30 @@
+"""Table 1 -- representative Diffeq SFR faults: effects + power change.
+
+Paper reference points: fault 1 (two select changes) -3.02%; fault 6
+(one select change) +0.06%; fault 21 (two extra loads + select) +2.56%;
+fault 27 (four extra loads of one register) +9.17%; fault 37 (four
+registers loading in all steps) +20.98%.  The claim under test: SFR
+faults span a range from slight decreases (select-only) to >+20%
+(many extra loads), and only load-line faults guarantee an increase.
+"""
+
+from repro.core.grading import pick_representative
+from repro.core.report import render_table1
+
+
+def test_table1(benchmark, gradings, save_result):
+    grading = gradings["diffeq"]
+
+    def run():
+        return pick_representative(grading, count=5)
+
+    picks = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("table1", render_table1(grading, picks))
+
+    pcts = [g.pct_change for g in picks]
+    # Spans the range: a small/negative end and a large-increase end.
+    assert pcts[0] < 1.0
+    assert pcts[-1] > 10.0
+    # Load-line faults never decrease power by a nontrivial amount.
+    for g in grading.group("load"):
+        assert g.pct_change > -0.5

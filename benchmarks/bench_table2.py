@@ -1,0 +1,30 @@
+"""Table 2 -- breakdown of controller faults for the three examples.
+
+Paper numbers (for reference): Diffeq 284 faults / 37 SFR (13.0%),
+Facet 177 / 36 (20.3%), Poly 207 / 28 (13.5%).  Absolute counts depend on
+the logic synthesis; the claim under test is that a consistent 10-30%
+of controller faults are system-functionally redundant.
+"""
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.core.report import render_table2
+from repro.designs.catalog import PAPER_DESIGNS
+
+from _config import PATTERNS
+
+
+def test_table2(benchmark, systems, save_result):
+    def run():
+        cfg = PipelineConfig(n_patterns=PATTERNS)
+        return [run_pipeline(systems[name], cfg) for name in PAPER_DESIGNS]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [render_table2(results), ""]
+    lines.append("full bucket breakdown:")
+    for res in results:
+        lines.append(f"  {res.design}: {res.counts()}")
+    save_result("table2", "\n".join(lines))
+
+    for res in results:
+        pct = res.table2_row()["pct_sfr"]
+        assert 5.0 <= pct <= 35.0, "SFR share out of the paper's regime"

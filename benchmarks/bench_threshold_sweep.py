@@ -1,0 +1,42 @@
+"""Ablation A1 -- SFR detection coverage vs the power threshold.
+
+The paper fixes a 5% tolerance band and remarks: "The smaller the
+threshold can be made in practice, the greater is the percentage of SFR
+faults that can be detected with this technique."  This bench sweeps the
+threshold from 1% to 20% and checks coverage is monotone non-increasing.
+"""
+
+from repro.core.report import render_table
+
+THRESHOLDS = [0.01, 0.02, 0.05, 0.10, 0.20]
+
+
+def test_threshold_sweep(benchmark, gradings, save_result):
+    def run():
+        table = {}
+        for name, grading in gradings.items():
+            row = []
+            for t in THRESHOLDS:
+                detected = sum(
+                    1 for g in grading.graded if abs(g.pct_change) > 100.0 * t
+                )
+                row.append(detected)
+            table[name] = (row, len(grading.graded))
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["Design", "SFR"] + [f">{int(t * 100)}%" for t in THRESHOLDS]
+    rows = [
+        [name, str(total)] + [str(v) for v in row]
+        for name, (row, total) in table.items()
+    ]
+    save_result(
+        "threshold_sweep",
+        render_table(headers, rows, title="A1 -- SFR faults detected vs power threshold"),
+    )
+
+    for name, (row, total) in table.items():
+        assert row == sorted(row, reverse=True), "coverage must shrink with threshold"
+        assert row[0] <= total
+        # At a 1% threshold a decent share of SFR faults is caught.
+        assert row[0] >= total // 4

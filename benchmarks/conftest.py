@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+experiment index) and writes its rendering to ``benchmarks/results/``.
+Scale is controlled by ``REPRO_FULL=1`` (paper-scale: 1200-pattern test
+sets, full Monte-Carlo budgets); the default is a faster configuration
+that preserves every qualitative conclusion.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.grading import grade_sfr_faults
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.designs.catalog import PAPER_DESIGNS, build_rtl
+from repro.hls.system import build_system
+
+from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def systems():
+    return {name: build_system(build_rtl(name)) for name in PAPER_DESIGNS}
+
+
+@pytest.fixture(scope="session")
+def pipelines(systems):
+    cfg = PipelineConfig(n_patterns=PATTERNS)
+    return {name: run_pipeline(system, cfg) for name, system in systems.items()}
+
+
+@pytest.fixture(scope="session")
+def gradings(systems, pipelines):
+    return {
+        name: grade_sfr_faults(
+            systems[name],
+            pipelines[name],
+            threshold=0.05,
+            batch_patterns=MC_BATCH,
+            max_batches=MC_MAX_BATCHES,
+        )
+        for name in systems
+    }

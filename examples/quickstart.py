@@ -1,0 +1,50 @@
+"""Quickstart: classify controller faults and grade them by power.
+
+Builds the paper's differential-equation-solver benchmark (4-bit datapath,
+10-state controller), runs the Section-5 classification pipeline, grades
+the system-functionally redundant (SFR) faults by Monte-Carlo power, and
+prints which of these logically *undetectable* faults the 5% power test
+catches.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_rtl, build_system, grade_sfr_faults, run_pipeline
+from repro.core.pipeline import PipelineConfig
+
+def main() -> None:
+    # 1. High-level synthesis: DFG -> schedule -> binding -> RTL.
+    rtl = build_rtl("diffeq")
+    print(rtl.summary())
+
+    # 2. Controller synthesis + gate-level elaboration + flattening.
+    system = build_system(rtl)
+    print(f"system: {len(system.netlist.gates)} gates "
+          f"({len(system.controller_gates())} in the controller)")
+
+    # 3. The Section-5 pipeline: fault simulate, screen, classify.
+    result = run_pipeline(system, PipelineConfig(n_patterns=256))
+    print("\nfault classification:", result.counts())
+    row = result.table2_row()
+    print(f"SFR share: {row['sfr_faults']}/{row['total_faults']} "
+          f"= {row['pct_sfr']:.1f}% of controller faults are "
+          f"undetectable by any logic test of the integrated pair")
+
+    # 4. Power grading: can a +/-5% power measurement catch them?
+    grading = grade_sfr_faults(system, result, threshold=0.05)
+    s = grading.summary()
+    print(f"\nfault-free datapath power: {grading.fault_free_uw:.1f} uW")
+    print(f"power test at +/-5% catches "
+          f"{s['select_detected']}/{s['n_select_only']} select-line and "
+          f"{s['load_detected']}/{s['n_load']} load-line SFR faults")
+
+    print("\nworst offender:")
+    worst = max(grading.graded, key=lambda g: g.pct_change)
+    print(f"  {worst.record.site.describe(system.controller.netlist)}")
+    for line in worst.effect_summary():
+        print(f"    {line}")
+    print(f"  power {worst.power_uw:.1f} uW ({worst.pct_change:+.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

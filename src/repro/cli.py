@@ -1,0 +1,255 @@
+"""Command-line interface: ``repro-faults``.
+
+Subcommands::
+
+    repro-faults classify diffeq            # Section-5 pipeline, Table-2 row
+    repro-faults grade diffeq               # + Monte-Carlo power, Figure 7
+    repro-faults table2                     # the paper's three designs
+    repro-faults strategies diffeq          # separate/integrated/power compare
+    repro-faults worstcase diffeq           # Section-4 max corruption
+    repro-faults datapath diffeq            # integrated datapath-fault test
+    repro-faults compile behavior.txt       # behavioural text -> pipeline
+    repro-faults dump-vcd diffeq run.vcd    # waveform of one computation
+    repro-faults export diffeq out.v        # write the system netlist
+    repro-faults stats diffeq               # netlist statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.grading import grade_sfr_faults, pick_representative
+from .core.pipeline import PipelineConfig, run_pipeline
+from .core.report import render_figure7, render_table1, render_table2
+from .designs.catalog import build_rtl, design_names
+from .hls.system import build_system
+from .netlist.bench import write_bench
+from .netlist.stats import analyze
+from .netlist.verilog import write_verilog
+
+
+def _build(args):
+    return build_system(
+        build_rtl(args.design, width=args.width),
+        encoding_kind=args.encoding,
+        output_style=args.output_style,
+    )
+
+
+def _cmd_classify(args) -> int:
+    system = _build(args)
+    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
+    print(system.rtl.summary())
+    print("fault buckets:", result.counts())
+    row = result.table2_row()
+    print(
+        f"Table 2 row: total={row['total_faults']} SFR={row['sfr_faults']} "
+        f"({row['pct_sfr']:.1f}%)"
+    )
+    for record in result.sfr_records:
+        effects = "; ".join(record.classification.effect_summary())
+        print(f"  SFR {record.site.describe(system.controller.netlist)}: {effects}")
+    return 0
+
+
+def _cmd_grade(args) -> int:
+    system = _build(args)
+    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
+    grading = grade_sfr_faults(system, result, threshold=args.threshold)
+    print(render_table1(grading, pick_representative(grading)))
+    print()
+    print(render_figure7(grading))
+    s = grading.summary()
+    print(
+        f"\ndetected by power test: {s['select_detected']}/{s['n_select_only']} "
+        f"select-only, {s['load_detected']}/{s['n_load']} load-line"
+    )
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .designs.catalog import PAPER_DESIGNS
+
+    results = []
+    for name in PAPER_DESIGNS:
+        system = build_system(build_rtl(name, width=args.width))
+        results.append(run_pipeline(system, PipelineConfig(n_patterns=args.patterns)))
+    print(render_table2(results))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    system = _build(args)
+    text = write_bench(system.netlist) if args.out.endswith(".bench") else write_verilog(
+        system.netlist
+    )
+    with open(args.out, "w") as f:
+        f.write(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    system = _build(args)
+    stats = analyze(system.netlist)
+    print(stats)
+    for key, count in stats.by_type.items():
+        print(f"  {key:8} {count}")
+    return 0
+
+
+def _cmd_strategies(args) -> int:
+    from .core.grading import grade_sfr_faults
+    from .core.report import render_table
+    from .core.teststrategies import compare_strategies
+
+    system = _build(args)
+    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
+    grading = grade_sfr_faults(system, result, max_batches=4)
+    rows = compare_strategies(system, result, grading, n_patterns=args.patterns)
+    print(
+        render_table(
+            ["Strategy", "Faults", "Detected", "Coverage", "Needs DFT"],
+            [
+                [
+                    r.strategy,
+                    r.fault_universe,
+                    f"{r.detected}/{r.total}",
+                    f"{100 * r.coverage:.1f}%",
+                    "yes" if r.requires_dft else "no",
+                ]
+                for r in rows
+            ],
+            title=f"Test strategy comparison -- {args.design}",
+        )
+    )
+    return 0
+
+
+def _cmd_worstcase(args) -> int:
+    from .core.worstcase import find_worst_case
+    from .power.estimator import PowerEstimator
+    from .power.montecarlo import monte_carlo_power
+
+    system = _build(args)
+    wc = find_worst_case(system.rtl, system.controller)
+    corrupted = wc.build()
+    base = monte_carlo_power(system, PowerEstimator(system.netlist))
+    worst = monte_carlo_power(corrupted, PowerEstimator(corrupted.netlist))
+    pct = 100.0 * (worst.power_uw - base.power_uw) / base.power_uw
+    print(f"accepted {len(wc.flips)}/{wc.candidates} non-disruptive corruptions")
+    print(f"fault-free {base.power_uw:.1f} uW -> worst case {worst.power_uw:.1f} uW ({pct:+.1f}%)")
+    return 0
+
+
+def _cmd_datapath(args) -> int:
+    from .core.datapath_faults import integrated_datapath_test
+
+    system = _build(args)
+    result = integrated_datapath_test(system, n_patterns=args.patterns)
+    print(
+        f"integrated datapath test: {result.detected()}/{result.total} "
+        f"= {100 * result.coverage():.1f}% coverage"
+    )
+    print("hardest components:")
+    for tag, rate in result.hardest_components():
+        print(f"  {tag:16} {100 * rate:5.1f}%")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from .hls.bind import bind_design
+    from .hls.frontend import parse_behavior
+    from .hls.schedule import list_schedule
+
+    with open(args.source) as f:
+        dfg = parse_behavior(f.read())
+    schedule = list_schedule(dfg, resources={})
+    rtl = bind_design(dfg, schedule)
+    print(rtl.summary())
+    system = build_system(
+        rtl, encoding_kind=args.encoding, output_style=args.output_style
+    )
+    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
+    print("fault buckets:", result.counts())
+    return 0
+
+
+def _cmd_dump_vcd(args) -> int:
+    import numpy as np
+
+    from .logic.vcd import dump_system_run
+
+    system = _build(args)
+    rng = np.random.default_rng(args.seed)
+    data = {
+        k: rng.integers(0, 1 << args.width, 1) for k in system.rtl.dfg.inputs
+    }
+    dump_system_run(system, data, system.cycles_for(4), args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="SFR controller-fault analysis via power (DATE 2000 reproduction)",
+    )
+    parser.add_argument("--width", type=int, default=4, help="datapath bit width")
+    parser.add_argument("--patterns", type=int, default=256, help="fault-sim patterns")
+    parser.add_argument("--encoding", default="binary", choices=["binary", "gray", "onehot"])
+    parser.add_argument(
+        "--output-style", default="pla", choices=["pla", "decoded", "minimized"]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="run the Section-5 classification pipeline")
+    p.add_argument("design", choices=design_names())
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("grade", help="classify + Monte-Carlo power grading")
+    p.add_argument("design", choices=design_names())
+    p.add_argument("--threshold", type=float, default=0.05)
+    p.set_defaults(func=_cmd_grade)
+
+    p = sub.add_parser("table2", help="Table 2 for all designs")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("export", help="write the system netlist (.v or .bench)")
+    p.add_argument("design", choices=design_names())
+    p.add_argument("out")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("stats", help="netlist statistics")
+    p.add_argument("design", choices=design_names())
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("strategies", help="separate vs integrated vs power test")
+    p.add_argument("design", choices=design_names())
+    p.set_defaults(func=_cmd_strategies)
+
+    p = sub.add_parser("worstcase", help="Section-4 maximal non-disruptive corruption")
+    p.add_argument("design", choices=design_names())
+    p.set_defaults(func=_cmd_worstcase)
+
+    p = sub.add_parser("datapath", help="integrated datapath fault test")
+    p.add_argument("design", choices=design_names())
+    p.set_defaults(func=_cmd_datapath)
+
+    p = sub.add_parser("compile", help="behavioural text file -> full pipeline")
+    p.add_argument("source")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("dump-vcd", help="waveform of one normal-mode run")
+    p.add_argument("design", choices=design_names())
+    p.add_argument("out")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_dump_vcd)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

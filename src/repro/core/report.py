@@ -1,0 +1,160 @@
+"""Rendering of the reproduced tables and figures.
+
+Produces plain-text renderings (and CSV-able row dicts) of:
+
+* Table 1 -- representative SFR faults with control line effects and power;
+* Table 2 -- controller fault breakdown per design;
+* Table 3 -- power consistency across fixed test sets;
+* Figure 7 -- per-fault Monte-Carlo power against the +/- threshold band,
+  select-only faults first, then load-line faults (ASCII scatter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .grading import GradedFault, GradingResult, Table3Row
+from .pipeline import PipelineResult
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Simple fixed-width table renderer."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- Table 1
+def table1_rows(grading: GradingResult, picks: list[GradedFault]) -> list[dict]:
+    """Row dicts for a Table-1-style listing."""
+    rows = [
+        {
+            "fault": "fault-free",
+            "effects": "-",
+            "power_uw": grading.fault_free_uw,
+            "pct": None,
+        }
+    ]
+    for i, g in enumerate(picks, start=1):
+        rows.append(
+            {
+                "fault": f"fault {i}",
+                "effects": "; ".join(g.effect_summary()),
+                "power_uw": g.power_uw,
+                "pct": g.pct_change,
+            }
+        )
+    return rows
+
+
+def render_table1(grading: GradingResult, picks: list[GradedFault]) -> str:
+    rows = []
+    for r in table1_rows(grading, picks):
+        pct = "-" if r["pct"] is None else f"{r['pct']:+.2f}%"
+        rows.append([r["fault"], r["effects"][:70], f"{r['power_uw'] / 1000.0:.3f}", pct])
+    return render_table(
+        ["", "Control line effects", "Power mW", "% change"],
+        rows,
+        title=f"Table 1 -- representative SFR faults ({grading.design})",
+    )
+
+
+# ----------------------------------------------------------------- Table 2
+def table2_rows(results: list[PipelineResult]) -> list[dict]:
+    return [r.table2_row() for r in results]
+
+
+def render_table2(results: list[PipelineResult]) -> str:
+    rows = [
+        [
+            r["design"],
+            str(r["total_faults"]),
+            str(r["sfr_faults"]),
+            f"{r['pct_sfr']:.1f}%",
+        ]
+        for r in table2_rows(results)
+    ]
+    return render_table(
+        ["Design", "Total Faults", "SFR Faults", "%Faults SFR"],
+        rows,
+        title="Table 2 -- breakdown of controller faults",
+    )
+
+
+# ----------------------------------------------------------------- Table 3
+def render_table3(rows: list[Table3Row], design: str) -> str:
+    out_rows = []
+    for r in rows:
+        cells = [r.label[:40], f"{r.monte_carlo_uw:.2f}"]
+        if r.monte_carlo_pct is not None:
+            cells[1] += f" ({r.monte_carlo_pct:+.2f}%)"
+        for i, p in enumerate(r.per_set_uw):
+            cell = f"{p:.2f}"
+            if r.per_set_pct is not None:
+                cell += f" ({r.per_set_pct[i]:+.2f}%)"
+            cells.append(cell)
+        out_rows.append(cells)
+    n_sets = len(rows[0].per_set_uw) if rows else 0
+    headers = ["", "Monte Carlo uW"] + [f"Test set {i + 1} uW" for i in range(n_sets)]
+    return render_table(
+        headers, out_rows, title=f"Table 3 -- power under fixed test sets ({design})"
+    )
+
+
+# ----------------------------------------------------------------- Figure 7
+def figure7_series(grading: GradingResult) -> list[dict]:
+    """Figure-7 data: one dict per SFR fault in plot order."""
+    out = []
+    for i, g in enumerate(grading.graded, start=1):
+        out.append(
+            {
+                "index": i,
+                "group": g.group,
+                "power_uw": g.power_uw,
+                "pct": g.pct_change,
+                "detected": abs(g.pct_change) > 100.0 * grading.threshold,
+            }
+        )
+    return out
+
+
+def render_figure7(grading: GradingResult, width: int = 68) -> str:
+    """ASCII rendering of one Figure-7 panel."""
+    series = figure7_series(grading)
+    if not series:
+        return f"Figure 7 ({grading.design}): no SFR faults"
+    base = grading.fault_free_uw
+    band = grading.threshold
+    lo = min(min(s["power_uw"] for s in series), base * (1 - band))
+    hi = max(max(s["power_uw"] for s in series), base * (1 + band))
+    span = hi - lo or 1.0
+
+    def col(uw: float) -> int:
+        return int((uw - lo) / span * (width - 1))
+
+    lines = [
+        f"Figure 7 ({grading.design}) -- power per SFR fault; "
+        f"band = {grading.fault_free_uw:.1f} uW +/- {100 * band:.0f}%",
+        f"  '|' fault-free, '[' ']' band edges, '*' select-only fault, '#' load-line fault",
+    ]
+    markers = {col(base): "|", col(base * (1 - band)): "[", col(base * (1 + band)): "]"}
+    for s in series:
+        row = [" "] * width
+        for pos, ch in markers.items():
+            row[pos] = ch
+        row[col(s["power_uw"])] = "*" if s["group"] == "select" else "#"
+        flag = " DETECTED" if s["detected"] else ""
+        lines.append(
+            f"f{s['index']:>3} {''.join(row)} {s['power_uw']:8.1f} uW ({s['pct']:+6.2f}%){flag}"
+        )
+    return "\n".join(lines)

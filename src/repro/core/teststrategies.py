@@ -1,0 +1,167 @@
+"""Section-2 quantified: separate vs. integrated vs. power-assisted test.
+
+The paper's background section lays out the strategy space for testing a
+controller-datapath pair:
+
+* **split the pair** and test each half separately (high coverage, but
+  needs DFT insertion and is impossible for hard cores);
+* **test the integrated pair** through its real pins (mandatory for hard
+  cores; SFR faults are unreachable by construction, so coverage of the
+  controller degrades -- the Dey et al. observation);
+* add **test points** multiplexing control lines onto the output pins
+  (restores observability at area cost -- again a design change);
+* keep the core untouched and add the paper's **power test** on top of
+  the integrated test.
+
+``compare_strategies`` measures all of them on one system with a shared
+controller fault universe, producing the headline comparison table of
+``bench_dft.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dft.scan import scan_fault_coverage
+from ..hls.gatelevel import elaborate_datapath
+from ..hls.system import System
+from ..logic.faults import collapse_faults, enumerate_faults
+from .grading import GradingResult
+from .pipeline import PipelineResult
+
+
+@dataclass
+class StrategyRow:
+    """Coverage of one test strategy over one fault universe."""
+
+    strategy: str
+    fault_universe: str
+    detected: int
+    total: int
+    requires_dft: bool
+    note: str = ""
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.total else 1.0
+
+
+def integrated_coverage(result: PipelineResult) -> StrategyRow:
+    """Integrated logic test: detected + practically-detected faults."""
+    counts = result.counts()
+    detected = counts.get("SFI-detected", 0) + counts.get("SFI-practical", 0)
+    return StrategyRow(
+        strategy="integrated logic test",
+        fault_universe="controller",
+        detected=detected,
+        total=result.total_faults,
+        requires_dft=False,
+        note="SFR faults unreachable by construction",
+    )
+
+
+def integrated_plus_power_coverage(
+    result: PipelineResult, grading: GradingResult
+) -> StrategyRow:
+    """Integrated test plus the paper's power threshold test."""
+    base = integrated_coverage(result)
+    power_hits = sum(1 for flag in grading.detected_flags() if flag)
+    return StrategyRow(
+        strategy=f"integrated + power test (+/-{100 * grading.threshold:.0f}%)",
+        fault_universe="controller",
+        detected=base.detected + power_hits,
+        total=base.total,
+        requires_dft=False,
+        note=f"power test adds {power_hits} SFR detections",
+    )
+
+
+def scan_controller_coverage(
+    system: System, universe, n_patterns: int = 512, use_atpg: bool = True
+) -> StrategyRow:
+    """Separate test of the controller through scan (pair split).
+
+    Random patterns first; with ``use_atpg`` the faults they miss go to
+    PODEM, which either finds a deterministic test or *proves* the fault
+    combinationally redundant -- the strong form of "separately the halves
+    test completely"."""
+    result = scan_fault_coverage(
+        system.controller.netlist, universe, n_patterns=n_patterns
+    )
+    detected, total = result.detected, result.total
+    note = "requires splitting the pair / scan insertion"
+    if use_atpg and result.undetected:
+        from ..atpg.podem import run_atpg
+        from ..dft.scan import map_fault_to_view, scan_view
+
+        ctrl = system.controller.netlist
+        view = scan_view(ctrl, "ctrl")
+        mapped = [map_fault_to_view(ctrl, view, s) for s in result.undetected]
+        summary = run_atpg(view.netlist, [m for m in mapped if m is not None])
+        detected += summary.tested
+        note += f"; ATPG: +{summary.tested} tests, {summary.redundant} proven redundant"
+    return StrategyRow(
+        strategy="separate controller test (scan)",
+        fault_universe="controller",
+        detected=detected,
+        total=total,
+        requires_dft=True,
+        note=note,
+    )
+
+
+def observation_mux_coverage(result: PipelineResult) -> StrategyRow:
+    """Test points on the control lines: every CFI fault becomes visible.
+
+    With the controller outputs directly observable (over however many
+    test sessions the output width demands), a fault escapes only if it
+    never changes a control line in normal mode -- i.e. only CFR faults
+    survive."""
+    cfr = result.counts().get("CFR", 0)
+    return StrategyRow(
+        strategy="observation muxes (test points)",
+        fault_universe="controller",
+        detected=result.total_faults - cfr,
+        total=result.total_faults,
+        requires_dft=True,
+        note="mods the core; only CFR faults escape",
+    )
+
+
+def scan_datapath_coverage(system: System, n_patterns: int = 512) -> StrategyRow:
+    """Separate test of the datapath with registers opened by scan."""
+    dp = elaborate_datapath(system.rtl)
+    sites = enumerate_faults(dp.netlist)
+    universe, _ = collapse_faults(dp.netlist, sites)
+    result = scan_fault_coverage(
+        dp.netlist, universe, n_patterns=n_patterns, tag_prefix="dp"
+    )
+    detected, total = result.detected, result.total
+    return StrategyRow(
+        strategy="separate datapath test (scan)",
+        fault_universe="datapath",
+        detected=detected,
+        total=total,
+        requires_dft=True,
+        note="control lines driven directly",
+    )
+
+
+def compare_strategies(
+    system: System,
+    result: PipelineResult,
+    grading: GradingResult,
+    universe=None,
+    n_patterns: int = 512,
+) -> list[StrategyRow]:
+    """The full Section-2 strategy comparison for one design."""
+    from .pipeline import controller_fault_universe
+
+    universe = universe or controller_fault_universe(system)
+    return [
+        scan_controller_coverage(system, universe, n_patterns),
+        scan_datapath_coverage(system, n_patterns),
+        integrated_coverage(result),
+        observation_mux_coverage(result),
+        integrated_plus_power_coverage(result, grading),
+    ]

@@ -1,0 +1,62 @@
+"""A direct-form-II IIR biquad filter core (extension design).
+
+Not one of the paper's three examples, but exactly the kind of workload
+its introduction motivates: a low-power embedded core that runs
+continuously, where an SFR fault's extra register loads quietly drain a
+portable device's battery without ever failing a logic test.
+
+One filter section per loop pass:
+
+.. code-block:: text
+
+    w  = x + a1*z1 + a2*z2      (feedback)
+    y  = w + b1*z1 + b2*z2      (feedforward, b0 = 1)
+    z2 = z1 ;  z1 = w           (delay line shift)
+
+iterated ``n`` times via a counter (``k < n``), so the controller has the
+same RESET / CS / HOLD shape as Diffeq.  The delay-line shift ``z2 = z1``
+is realised as ``z1 + 0`` -- loop updates must be op results in this flow.
+"""
+
+from __future__ import annotations
+
+from ..hls.bind import bind_design
+from ..hls.dfg import DFG, OpKind
+from ..hls.rtl import RTLDesign
+from ..hls.schedule import list_schedule
+
+
+def biquad_dfg(width: int = 4) -> DFG:
+    """Build the biquad data-flow graph."""
+    d = DFG(
+        name="biquad",
+        width=width,
+        inputs=["x", "a1", "a2", "b1", "b2", "z1", "z2", "k", "n"],
+        constants={"zero": 0, "one": 1},
+    )
+    d.op("f1", OpKind.MUL, "a1", "z1")
+    d.op("f2", OpKind.MUL, "a2", "z2")
+    d.op("s1", OpKind.ADD, "x", "f1")
+    d.op("w", OpKind.ADD, "s1", "f2")
+    d.op("g1", OpKind.MUL, "b1", "z1")
+    d.op("g2", OpKind.MUL, "b2", "z2")
+    d.op("s2", OpKind.ADD, "w", "g1")
+    d.op("y", OpKind.ADD, "s2", "g2")
+    d.op("z2n", OpKind.ADD, "z1", "zero")  # delay-line move
+    d.op("wn", OpKind.ADD, "w", "zero")    # w into z1's register
+    d.op("k1", OpKind.ADD, "k", "one")
+    d.op("c", OpKind.LT, "k1", "n")
+    d.outputs = {"y_out": "y"}
+    d.loop_condition = "c"
+    d.loop_updates = {"z1": "wn", "z2": "z2n", "k": "k1"}
+    d.validate()
+    return d
+
+
+def biquad_rtl(width: int = 4) -> RTLDesign:
+    """Schedule and bind the biquad (1 MUL, 2 ADD, 1 CMP)."""
+    dfg = biquad_dfg(width)
+    schedule = list_schedule(
+        dfg, resources={OpKind.MUL: 1, OpKind.ADD: 2, OpKind.LT: 1}
+    )
+    return bind_design(dfg, schedule, share_load_lines=False)

@@ -1,0 +1,45 @@
+"""Registry of the paper's three benchmark designs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..hls.rtl import RTLDesign
+from .biquad import biquad_dfg, biquad_rtl
+from .diffeq import diffeq_dfg, diffeq_rtl
+from .ewf import ewf_dfg, ewf_rtl
+from .facet import facet_dfg, facet_rtl
+from .poly import poly_dfg, poly_rtl
+
+#: The paper's three examples plus the biquad and EWF extension designs.
+RTL_BUILDERS: dict[str, Callable[..., RTLDesign]] = {
+    "diffeq": diffeq_rtl,
+    "facet": facet_rtl,
+    "poly": poly_rtl,
+    "biquad": biquad_rtl,
+    "ewf": ewf_rtl,
+}
+
+DFG_BUILDERS = {
+    "diffeq": diffeq_dfg,
+    "facet": facet_dfg,
+    "poly": poly_dfg,
+    "biquad": biquad_dfg,
+    "ewf": ewf_dfg,
+}
+
+#: The designs evaluated in the paper (benchmarks iterate these).
+PAPER_DESIGNS = ["diffeq", "facet", "poly"]
+
+
+def design_names() -> list[str]:
+    return list(RTL_BUILDERS)
+
+
+def build_rtl(name: str, width: int = 4) -> RTLDesign:
+    """Build a benchmark design by name."""
+    try:
+        builder = RTL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown design {name!r}; choose from {design_names()}") from None
+    return builder(width)

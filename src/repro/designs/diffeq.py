@@ -1,0 +1,61 @@
+"""The HAL differential equation solver benchmark.
+
+The classic high-level synthesis benchmark [Gajski et al. 1992] solves
+``y'' + 3xy' + 3y = 0`` by forward Euler:
+
+.. code-block:: text
+
+    while (x < a):
+        x1 = x + dx
+        u1 = u - (3 * x * u * dx) - (3 * y * dx)
+        y1 = y + u * dx
+        x = x1;  u = u1;  y = y1
+
+The paper's 4-bit implementation has 11 register load lines (REG1..REG11),
+7 multiplexer select lines (MS1..MS7) and a 10-state control flow (RESET,
+CS1..CS8, HOLD OUTPUT).  With one multiplier, one adder, one subtractor and
+one comparator, the reconstruction below schedules into the same 8 control
+steps / 10 states; aggressive-but-standard left-edge register sharing lands
+on 8 registers and 10 select bits (the paper's allocator was less willing
+to share -- the class structure of the controller faults is unaffected).
+"""
+
+from __future__ import annotations
+
+from ..hls.bind import bind_design
+from ..hls.dfg import DFG, OpKind
+from ..hls.rtl import RTLDesign
+from ..hls.schedule import list_schedule
+
+
+def diffeq_dfg(width: int = 4) -> DFG:
+    """Build the Diffeq data-flow graph."""
+    d = DFG(
+        name="diffeq",
+        width=width,
+        inputs=["x", "y", "u", "dx", "a"],
+        constants={"three": 3},
+    )
+    d.op("m1", OpKind.MUL, "three", "x")   # 3x
+    d.op("m2", OpKind.MUL, "m1", "u")      # 3xu
+    d.op("m3", OpKind.MUL, "m2", "dx")     # 3xu*dx
+    d.op("m4", OpKind.MUL, "three", "y")   # 3y
+    d.op("m5", OpKind.MUL, "m4", "dx")     # 3y*dx
+    d.op("m6", OpKind.MUL, "u", "dx")      # u*dx
+    d.op("s1", OpKind.SUB, "u", "m3")      # u - 3xu*dx
+    d.op("u1", OpKind.SUB, "s1", "m5")     # .. - 3y*dx
+    d.op("y1", OpKind.ADD, "y", "m6")      # y + u*dx
+    d.op("x1", OpKind.ADD, "x", "dx")      # x + dx
+    d.op("c", OpKind.LT, "x1", "a")        # x1 < a
+    d.outputs = {"y_out": "y"}
+    d.loop_condition = "c"
+    d.loop_updates = {"x": "x1", "u": "u1", "y": "y1"}
+    d.validate()
+    return d
+
+
+def diffeq_rtl(width: int = 4) -> RTLDesign:
+    """Schedule and bind the Diffeq design (1 MUL, 1 ADD, 1 SUB, 1 CMP)."""
+    dfg = diffeq_dfg(width)
+    schedule = list_schedule(dfg, resources={OpKind.MUL: 1, OpKind.ADD: 1, OpKind.SUB: 1, OpKind.LT: 1})
+    return bind_design(dfg, schedule, share_load_lines=False)

@@ -1,0 +1,58 @@
+"""The Facet high-level synthesis benchmark.
+
+Facet comes from Tseng and Siewiorek's data-path synthesis work and is the
+second example in the paper.  The defining property the paper relies on is
+that Facet "has several sets of registers that load in parallel, and are
+driven by the same load line; this creates the potential for a single SFR
+fault to affect many registers, and therefore cause a large increase in
+power" (Section 6).
+
+The exact operation list of the original is not given in the paper, so the
+reconstruction below (documented in DESIGN.md) is a straight-line Facet-
+style behaviour: three parallel chains over +, -, *, &, | that schedule
+three ops per step on disjoint single-function FUs.  With
+``share_load_lines=True`` the binder then merges identically scheduled
+registers onto shared load lines -- seven input registers load together in
+RESET, and each wave of temporaries loads together in its control step.
+"""
+
+from __future__ import annotations
+
+from ..hls.bind import bind_design
+from ..hls.dfg import DFG, OpKind
+from ..hls.rtl import RTLDesign
+from ..hls.schedule import list_schedule
+
+
+def facet_dfg(width: int = 4) -> DFG:
+    """Build the Facet-style data-flow graph."""
+    d = DFG(name="facet", width=width, inputs=["a", "b", "c", "d", "e", "f", "g"])
+    d.op("t1", OpKind.ADD, "a", "b")
+    d.op("t2", OpKind.SUB, "c", "d")
+    d.op("t3", OpKind.MUL, "e", "f")
+    d.op("t4", OpKind.AND, "t1", "t3")
+    d.op("t5", OpKind.OR, "t2", "g")
+    d.op("t6", OpKind.MUL, "t3", "g")
+    d.op("t7", OpKind.ADD, "t4", "t5")
+    d.op("t8", OpKind.SUB, "t6", "t5")
+    d.op("o1", OpKind.MUL, "t7", "t8")
+    d.outputs = {"o1_out": "o1"}
+    d.validate()
+    return d
+
+
+def facet_rtl(width: int = 4) -> RTLDesign:
+    """Schedule and bind Facet with one FU per op kind and shared load
+    lines (the configuration behind Figure 7(b))."""
+    dfg = facet_dfg(width)
+    schedule = list_schedule(
+        dfg,
+        resources={
+            OpKind.ADD: 1,
+            OpKind.SUB: 1,
+            OpKind.MUL: 1,
+            OpKind.AND: 1,
+            OpKind.OR: 1,
+        },
+    )
+    return bind_design(dfg, schedule, share_load_lines=True)

@@ -1,0 +1,42 @@
+"""The third-degree polynomial evaluator: ``a*x^3 + b*x^2 + c*x + d``.
+
+The paper's third example.  Its defining property: "the schedule for this
+example is such that many variables have relatively long lifespans.  This
+translates into relatively small power effects for the SFR faults, because
+it is more likely that a given extra load will occur during a lifespan and
+be disruptive to the computation" (Section 6) -- i.e. fewer extra-load
+faults are SFR at all, and those that are move power only a little.
+
+Evaluated directly (not Horner) on one multiplier and one adder, the five
+inputs a, b, c, d, x stay live deep into the 7-step schedule.
+"""
+
+from __future__ import annotations
+
+from ..hls.bind import bind_design
+from ..hls.dfg import DFG, OpKind
+from ..hls.rtl import RTLDesign
+from ..hls.schedule import list_schedule
+
+
+def poly_dfg(width: int = 4) -> DFG:
+    """Build the polynomial-evaluator data-flow graph."""
+    d = DFG(name="poly", width=width, inputs=["a", "b", "c", "d", "x"])
+    d.op("x2", OpKind.MUL, "x", "x")
+    d.op("x3", OpKind.MUL, "x2", "x")
+    d.op("t1", OpKind.MUL, "a", "x3")
+    d.op("t2", OpKind.MUL, "b", "x2")
+    d.op("t3", OpKind.MUL, "c", "x")
+    d.op("s1", OpKind.ADD, "t1", "t2")
+    d.op("s2", OpKind.ADD, "s1", "t3")
+    d.op("y", OpKind.ADD, "s2", "d")
+    d.outputs = {"y_out": "y"}
+    d.validate()
+    return d
+
+
+def poly_rtl(width: int = 4) -> RTLDesign:
+    """Schedule and bind Poly (1 MUL, 1 ADD; dedicated load lines)."""
+    dfg = poly_dfg(width)
+    schedule = list_schedule(dfg, resources={OpKind.MUL: 1, OpKind.ADD: 1})
+    return bind_design(dfg, schedule, share_load_lines=False)

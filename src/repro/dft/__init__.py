@@ -1,0 +1,1 @@
+"""dft subpackage."""

@@ -1,0 +1,116 @@
+"""Test-point insertion: observing controller outputs directly.
+
+The traditional alternative the paper argues against (Section 1, citing
+Bhatia & Jha [5]): "the controller output signals are multiplexed with
+some or all of the datapath primary outputs, thus making them directly
+observable."  That works -- it makes every SFR fault a trivially
+detectable fault -- but it modifies the design (impossible for a hard
+core), costs area, and lengthens the output path.
+
+``insert_observation_muxes`` rebuilds a system with a ``test_mode`` input
+and one MUX2 per observed output bit: in normal mode the datapath outputs
+pass through; in test mode the controller's control lines drive the pins
+instead.  The returned structure reports the exact overhead so the paper's
+cost argument can be quantified (see ``bench_dft.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hls.system import System
+from ..logic.levelize import logic_depth
+from ..netlist.builder import NetlistBuilder
+from ..netlist.netlist import Netlist
+
+TEST_MODE = "test_mode"
+
+
+@dataclass
+class ObservableSystem:
+    """A system with controller outputs multiplexed onto the output pins."""
+
+    netlist: Netlist
+    base: System
+    test_mode_net: int
+    observed_outputs: list[int]
+    #: control line observed on each output bit (None = passthrough only)
+    observation_map: dict[int, str]
+
+    @property
+    def added_gates(self) -> int:
+        return len(self.netlist.gates) - len(self.base.netlist.gates)
+
+    def overhead_report(self) -> dict:
+        """Area and depth cost of the DFT insertion."""
+        return {
+            "added_gates": self.added_gates,
+            "added_gate_pct": 100.0 * self.added_gates / len(self.base.netlist.gates),
+            "depth_before": logic_depth(self.base.netlist),
+            "depth_after": logic_depth(self.netlist),
+        }
+
+
+def insert_observation_muxes(system: System) -> ObservableSystem:
+    """Clone ``system`` with test-mode observation muxes on its outputs.
+
+    Control lines are assigned round-robin to the available output bits; if
+    there are more control lines than output bits, the remainder stays
+    unobserved (exactly the partial observability the technique has on
+    narrow datapaths -- part of the paper's case against it).
+    """
+    base = system.netlist
+    b = NetlistBuilder(name=f"{base.name}_obs")
+    # Recreate all nets/gates of the base system, then add the muxes.
+    mapping = b.instantiate(
+        base,
+        {base.net_names[n]: b.net(base.net_names[n]) for n in base.inputs},
+        prefix="u",
+    )
+    for n in base.inputs:
+        b.netlist.mark_input(b.netlist.net_id(base.net_names[n]))
+
+    test_mode = b.input(TEST_MODE)
+    control_lines = list(system.control_nets)
+    out_nets = [mapping[base.net_names[n]] for n in base.outputs]
+
+    observed: list[int] = []
+    observation_map: dict[int, str] = {}
+    for i, net in enumerate(out_nets):
+        pin = b.net(f"obs_out[{i}]")
+        if i < len(control_lines):
+            line = control_lines[i]
+            ctl_net = mapping[base.net_names[system.control_nets[line]]]
+            b.mux2_(test_mode, net, ctl_net, output=pin, name=f"obsmux{i}", tag="dft")
+            observation_map[i] = line
+        else:
+            b.buf_(net, output=pin, name=f"obsbuf{i}", tag="dft")
+        b.output(pin)
+        observed.append(pin)
+
+    netlist = b.done()
+    return ObservableSystem(
+        netlist=netlist,
+        base=system,
+        test_mode_net=test_mode,
+        observed_outputs=observed,
+        observation_map=observation_map,
+    )
+
+
+def translate_fault(system: System, obs: ObservableSystem, site):
+    """Map a standalone-controller fault site into the observable netlist."""
+    from ..logic.faults import FaultSite
+
+    sys_site = system.to_system_fault(site)
+    # Gates were copied in order with names prefixed by "u/".
+    name = system.netlist.gates[sys_site.gate_index].name if sys_site.gate_index is not None else None
+    gate_index = None
+    if name is not None:
+        gate_index = next(g.index for g in obs.netlist.gates if g.name == f"u/{name}")
+    net_name = system.netlist.net_names[sys_site.net]
+    if obs.netlist.has_net(net_name):
+        net = obs.netlist.net_id(net_name)
+    else:
+        net = obs.netlist.net_id(f"u/{net_name}")
+    return FaultSite(gate_index, sys_site.pin, net, sys_site.value)

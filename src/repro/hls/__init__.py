@@ -1,0 +1,1 @@
+"""hls subpackage."""

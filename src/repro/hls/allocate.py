@@ -1,0 +1,36 @@
+"""Functional unit allocation.
+
+Single-function FUs in the paper's datapath style: for each operation kind
+the allocator provides exactly as many units as the schedule ever uses
+simultaneously.  Units are named ``MUL1, MUL2, ADD1, ...``.
+"""
+
+from __future__ import annotations
+
+from .dfg import DFG, OpKind
+from .schedule import Schedule
+
+_KIND_PREFIX = {
+    OpKind.ADD: "ADD",
+    OpKind.SUB: "SUB",
+    OpKind.MUL: "MUL",
+    OpKind.LT: "CMP",
+    OpKind.AND: "LAND",
+    OpKind.OR: "LOR",
+    OpKind.XOR: "LXOR",
+}
+
+
+def allocate_fus(dfg: DFG, schedule: Schedule) -> dict[OpKind, list[str]]:
+    """Return kind -> list of FU instance names sized to peak usage."""
+    peak: dict[OpKind, int] = {}
+    for step in range(1, schedule.n_steps + 1):
+        per_kind: dict[OpKind, int] = {}
+        for op in schedule.ops_in_step(dfg, step):
+            per_kind[op.kind] = per_kind.get(op.kind, 0) + 1
+        for kind, count in per_kind.items():
+            peak[kind] = max(peak.get(kind, 0), count)
+    return {
+        kind: [f"{_KIND_PREFIX[kind]}{i + 1}" for i in range(count)]
+        for kind, count in sorted(peak.items(), key=lambda kv: kv[0].value)
+    }

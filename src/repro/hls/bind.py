@@ -1,0 +1,275 @@
+"""Binding: registers (left-edge), FU instances, muxes, control table.
+
+Produces the complete :class:`~repro.hls.rtl.RTLDesign` from a scheduled
+DFG.  Register policy (chosen to match the paper's example structure --
+the 4-bit Diffeq has 11 registers and 7 mux select lines):
+
+* every loop-carried variable gets a dedicated register, loaded from the
+  input port in RESET and from its update op's FU in the update step;
+* every other primary input gets a dedicated register loaded in RESET;
+* temporaries (op results) share registers by left-edge allocation on
+  their lifetime intervals; values routed to an output port persist
+  through HOLD and so block their register from later reuse.
+
+Load lines map one-to-one onto registers unless ``share_load_lines`` is
+set, in which case registers with identical load schedules share one line
+(the Facet example's "several sets of registers that load in parallel").
+"""
+
+from __future__ import annotations
+
+from .allocate import allocate_fus
+from .dfg import DFG, DFGError
+from .rtl import (
+    HOLD_STATE,
+    RESET_STATE,
+    ControlTable,
+    FUSpec,
+    MuxSpec,
+    OpBinding,
+    RTLDesign,
+    RegisterSpec,
+    Source,
+    cs_state,
+    state_names,
+)
+from .schedule import Schedule
+
+_INFINITY = 10**9
+
+
+def _bind_fus(dfg: DFG, schedule: Schedule, fu_names) -> dict[str, OpBinding]:
+    """Assign each op to a concrete FU instance (dest filled in later)."""
+    bindings: dict[str, OpBinding] = {}
+    for step in range(1, schedule.n_steps + 1):
+        used: dict = {}
+        for op in sorted(schedule.ops_in_step(dfg, step), key=lambda o: o.name):
+            slot = used.get(op.kind, 0)
+            used[op.kind] = slot + 1
+            bindings[op.name] = OpBinding(op=op.name, fu=fu_names[op.kind][slot], step=step, dest_register=None)
+    return bindings
+
+
+def _value_intervals(dfg: DFG, schedule: Schedule):
+    """Lifetime interval (def_step, last_use_step) per temp value."""
+    update_values = set(dfg.loop_updates.values())
+    output_values = set(dfg.outputs.values())
+    intervals: dict[str, tuple[int, int]] = {}
+    for op in dfg.ops:
+        if op.name == dfg.loop_condition or op.name in update_values:
+            continue
+        def_step = schedule.steps[op.name]
+        readers = dfg.readers_of(op.name)
+        if not readers and op.name not in output_values:
+            raise DFGError(f"op {op.name!r} result is never used")
+        last = _INFINITY if op.name in output_values else max(
+            schedule.steps[r.name] for r in readers
+        )
+        intervals[op.name] = (def_step, last)
+    return intervals
+
+
+def _left_edge(intervals: dict[str, tuple[int, int]]) -> list[list[str]]:
+    """Pack intervals into a minimal register count (left-edge algorithm).
+
+    Value A (def a0, last a1) and B (def b0 >= a0) may share a register iff
+    a1 < b0: A's last read strictly precedes the step at whose end B is
+    written.  (Same-step write-after-read reuse would be functionally legal
+    in this datapath style, but real allocators -- SYNTEST included --
+    avoid it; the stricter rule also reproduces the paper's register
+    counts.)"""
+    order = sorted(intervals, key=lambda v: (intervals[v][0], intervals[v][1], v))
+    registers: list[list[str]] = []
+    reg_last: list[int] = []
+    for value in order:
+        d, last = intervals[value]
+        placed = False
+        for i, busy_until in enumerate(reg_last):
+            if busy_until < d:
+                registers[i].append(value)
+                reg_last[i] = last
+                placed = True
+                break
+        if not placed:
+            registers.append([value])
+            reg_last.append(last)
+    return registers
+
+
+def bind_design(dfg: DFG, schedule: Schedule, share_load_lines: bool = False) -> RTLDesign:
+    """Produce the full RTL design (structure + control table) for ``dfg``."""
+    dfg.validate()
+    fu_names = allocate_fus(dfg, schedule)
+    bindings = _bind_fus(dfg, schedule, fu_names)
+    update_of = {producer: var for var, producer in dfg.loop_updates.items()}
+
+    # ----- register sets, in REG1.. order ---------------------------------
+    loop_vars = [v for v in dfg.inputs if v in dfg.loop_updates]
+    plain_inputs = [v for v in dfg.inputs if v not in dfg.loop_updates]
+    temp_groups = _left_edge(_value_intervals(dfg, schedule))
+
+    value_reg: dict[str, str] = {}
+    reg_specs: list[tuple[str, list[Source], list[str]]] = []  # (name, sources, holds)
+    idx = 0
+
+    def next_reg() -> str:
+        nonlocal idx
+        idx += 1
+        return f"REG{idx}"
+
+    for var in loop_vars:
+        name = next_reg()
+        producer = dfg.loop_updates[var]
+        fu = bindings[producer].fu
+        sources = [Source("input", var), Source("fu", fu)]
+        value_reg[var] = name
+        value_reg[producer] = name
+        reg_specs.append((name, sources, [var, producer]))
+    for var in plain_inputs:
+        name = next_reg()
+        value_reg[var] = name
+        reg_specs.append((name, [Source("input", var)], [var]))
+    for group in temp_groups:
+        name = next_reg()
+        sources: list[Source] = []
+        for value in group:
+            value_reg[value] = name
+            src = Source("fu", bindings[value].fu)
+            if src not in sources:
+                sources.append(src)
+        reg_specs.append((name, sources, list(group)))
+
+    # Fill binding destinations.
+    for op in dfg.ops:
+        if op.name == dfg.loop_condition:
+            continue
+        bindings[op.name].dest_register = value_reg[op.name]
+
+    # ----- FU port muxes ---------------------------------------------------
+    def operand_source(value: str) -> Source:
+        if value in dfg.constants:
+            return Source("const", value)
+        return Source("reg", value_reg[value])
+
+    fus: list[FUSpec] = []
+    for kind in fu_names:
+        for fu in fu_names[kind]:
+            src_a: list[Source] = []
+            src_b: list[Source] = []
+            for b in sorted(bindings.values(), key=lambda bb: (bb.step, bb.op)):
+                if b.fu != fu:
+                    continue
+                op = dfg.op_by_name(b.op)
+                for src_list, operand in ((src_a, op.a), (src_b, op.b)):
+                    s = operand_source(operand)
+                    if s not in src_list:
+                        src_list.append(s)
+            fus.append(
+                FUSpec(
+                    name=fu,
+                    kind=kind,
+                    mux_a=MuxSpec(name=f"{fu}.a", sources=src_a),
+                    mux_b=MuxSpec(name=f"{fu}.b", sources=src_b),
+                )
+            )
+
+    registers = [
+        RegisterSpec(
+            name=name,
+            load_line="",  # assigned below
+            input_mux=MuxSpec(name=f"{name}.in", sources=sources),
+            holds=holds,
+        )
+        for name, sources, holds in reg_specs
+    ]
+
+    # ----- select line naming (MS1..) --------------------------------------
+    sel_lines: list[str] = []
+    for mux in [m for f in fus for m in (f.mux_a, f.mux_b)] + [r.input_mux for r in registers]:
+        for _ in range(mux.n_sel_bits):
+            sel = f"MS{len(sel_lines) + 1}"
+            sel_lines.append(sel)
+            mux.sel_names.append(sel)
+
+    # ----- register load schedules -----------------------------------------
+    states = state_names(schedule.n_steps)
+    load_states: dict[str, set[str]] = {r.name: set() for r in registers}
+    for var in loop_vars + plain_inputs:
+        load_states[value_reg[var]].add(RESET_STATE)
+    for op in dfg.ops:
+        if op.name == dfg.loop_condition:
+            continue
+        load_states[value_reg[op.name]].add(cs_state(schedule.steps[op.name]))
+
+    # ----- load line assignment --------------------------------------------
+    regs_on_line: dict[str, list[str]] = {}
+    if share_load_lines:
+        groups: dict[tuple, list[str]] = {}
+        for r in registers:
+            key = tuple(sorted(load_states[r.name]))
+            groups.setdefault(key, []).append(r.name)
+        for i, key in enumerate(sorted(groups), start=1):
+            line = f"LD{i}"
+            regs_on_line[line] = groups[key]
+            for rname in groups[key]:
+                next(r for r in registers if r.name == rname).load_line = line
+    else:
+        for i, r in enumerate(registers, start=1):
+            line = f"LD{i}"
+            r.load_line = line
+            regs_on_line[line] = [r.name]
+    load_lines = sorted(regs_on_line, key=lambda s: int(s[2:]))
+
+    # ----- control table ----------------------------------------------------
+    loads = {
+        state: {
+            line: int(any(state in load_states[r] for r in regs_on_line[line]))
+            for line in load_lines
+        }
+        for state in states
+    }
+    selects: dict[str, dict[str, int | None]] = {
+        state: {sel: None for sel in sel_lines} for state in states
+    }
+
+    def set_mux(state: str, mux: MuxSpec, index: int) -> None:
+        for sel, bit in mux.sel_bits_for(index).items():
+            prev = selects[state][sel]
+            if prev is not None and prev != bit:
+                raise DFGError(f"select conflict on {sel} in {state}")
+            selects[state][sel] = bit
+
+    reg_by_name = {r.name: r for r in registers}
+    for var in loop_vars + plain_inputs:
+        reg = reg_by_name[value_reg[var]]
+        set_mux(RESET_STATE, reg.input_mux, reg.input_mux.sources.index(Source("input", var)))
+    fu_by_name = {f.name: f for f in fus}
+    for b in bindings.values():
+        state = cs_state(b.step)
+        op = dfg.op_by_name(b.op)
+        fu = fu_by_name[b.fu]
+        set_mux(state, fu.mux_a, fu.mux_a.sources.index(operand_source(op.a)))
+        set_mux(state, fu.mux_b, fu.mux_b.sources.index(operand_source(op.b)))
+        if b.dest_register is not None:
+            reg = reg_by_name[b.dest_register]
+            set_mux(state, reg.input_mux, reg.input_mux.sources.index(Source("fu", b.fu)))
+
+    control = ControlTable(states=states, loads=loads, selects=selects)
+    cond = dfg.loop_condition
+    return RTLDesign(
+        name=dfg.name,
+        width=dfg.width,
+        dfg=dfg,
+        schedule=schedule,
+        registers=registers,
+        fus=fus,
+        bindings=bindings,
+        value_reg=value_reg,
+        load_lines=load_lines,
+        sel_lines=sel_lines,
+        regs_on_line=regs_on_line,
+        control=control,
+        outputs={port: value_reg[val] for port, val in dfg.outputs.items()},
+        cond_fu=bindings[cond].fu if cond else None,
+        cond_step=bindings[cond].step if cond else None,
+    )

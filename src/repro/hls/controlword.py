@@ -1,0 +1,50 @@
+"""Control table -> symbolic FSM.
+
+Turns an :class:`~repro.hls.rtl.RTLDesign`'s control table into the Moore
+machine the controller synthesizer consumes.  The machine has a ``start``
+input, a ``cond`` input when the behaviour loops (fed combinationally from
+the datapath comparator in the final control step), and one output per
+control line.  Don't-care selects stay don't-care -- the logic minimiser
+fills them, deliberately *not* optimised for datapath power, matching the
+paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+from ..synth.fsm import FSM
+from .rtl import HOLD_STATE, RESET_STATE, RTLDesign, cs_state
+
+START_INPUT = "start"
+COND_INPUT = "cond"
+
+
+def build_fsm(rtl: RTLDesign) -> FSM:
+    """Create the controller FSM for an RTL design."""
+    inputs = [START_INPUT] + ([COND_INPUT] if rtl.cond_fu else [])
+    outputs = list(rtl.load_lines) + list(rtl.sel_lines)
+    fsm = FSM(
+        name=rtl.name,
+        input_names=inputs,
+        output_names=outputs,
+        states=[],
+        reset_state=RESET_STATE,
+    )
+    for state in rtl.states:
+        word: dict[str, int | None] = {}
+        word.update(rtl.control.loads[state])
+        word.update(rtl.control.selects[state])
+        fsm.add_state(state, word)
+
+    n = rtl.schedule.n_steps
+    fsm.add_transition(RESET_STATE, cs_state(1), {START_INPUT: 1})
+    fsm.add_transition(RESET_STATE, RESET_STATE, {START_INPUT: 0})
+    for step in range(1, n):
+        fsm.add_transition(cs_state(step), cs_state(step + 1))
+    if rtl.cond_fu:
+        fsm.add_transition(cs_state(n), cs_state(1), {COND_INPUT: 1})
+        fsm.add_transition(cs_state(n), HOLD_STATE, {COND_INPUT: 0})
+    else:
+        fsm.add_transition(cs_state(n), HOLD_STATE)
+    fsm.add_transition(HOLD_STATE, HOLD_STATE)
+    fsm.validate()
+    return fsm

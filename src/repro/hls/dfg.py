@@ -1,0 +1,179 @@
+"""Data-flow graph capture for the SYNTEST-like high-level synthesis flow.
+
+A :class:`DFG` describes one behaviour: a DAG of two-operand operations over
+primary inputs and constants, an optional while-loop (condition operation
+plus loop-carried variable updates), and named output ports.  The three
+benchmark designs of the paper (Diffeq, Facet, Poly) are captured in
+:mod:`repro.designs` as DFGs and pushed through scheduling, binding and
+elaboration to produce the controller-datapath pairs under test.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpKind(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    LT = "<"
+    AND = "&"
+    OR = "|"
+    XOR = "^"
+
+
+#: Kinds whose result does not depend on operand order.
+COMMUTATIVE = frozenset({OpKind.ADD, OpKind.MUL, OpKind.AND, OpKind.OR, OpKind.XOR})
+
+
+@dataclass(frozen=True)
+class Op:
+    """A single two-operand operation; ``name`` doubles as its result value."""
+
+    name: str
+    kind: OpKind
+    a: str
+    b: str
+
+
+class DFGError(ValueError):
+    """Raised for malformed data-flow graphs."""
+
+
+@dataclass
+class DFG:
+    """A behaviour to synthesize.
+
+    Attributes:
+        name: design name.
+        width: datapath bit width.
+        inputs: primary data inputs (each gets an input register).
+        constants: named constant values (hardwired, no register).
+        ops: operations in any topological-friendly order.
+        outputs: port name -> value name observed after completion.
+        loop_condition: op whose LSB feeds the controller as ``cond``
+            (None for straight-line behaviours).
+        loop_updates: loop variable (must be an input) -> op producing its
+            next-iteration value.
+    """
+
+    name: str
+    width: int
+    inputs: list[str]
+    constants: dict[str, int] = field(default_factory=dict)
+    ops: list[Op] = field(default_factory=list)
+    outputs: dict[str, str] = field(default_factory=dict)
+    loop_condition: str | None = None
+    loop_updates: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ structure
+    def op(self, name: str, kind: OpKind, a: str, b: str) -> str:
+        """Append an operation; returns its value name for chaining."""
+        self.ops.append(Op(name, OpKind(kind), a, b))
+        return name
+
+    def op_by_name(self, name: str) -> Op:
+        for o in self.ops:
+            if o.name == name:
+                return o
+        raise DFGError(f"no op named {name!r}")
+
+    def value_names(self) -> set[str]:
+        return set(self.inputs) | set(self.constants) | {o.name for o in self.ops}
+
+    def is_loop(self) -> bool:
+        return self.loop_condition is not None
+
+    def loop_vars(self) -> list[str]:
+        return list(self.loop_updates)
+
+    def readers_of(self, value: str) -> list[Op]:
+        """Ops consuming ``value`` as an operand."""
+        return [o for o in self.ops if o.a == value or o.b == value]
+
+    # ----------------------------------------------------------- validation
+    def validate(self) -> None:
+        names = self.value_names()
+        seen: set[str] = set(self.inputs) | set(self.constants)
+        if len(names) != len(self.inputs) + len(self.constants) + len(self.ops):
+            raise DFGError("value names must be unique across inputs/constants/ops")
+        for o in self.ops:
+            for operand in (o.a, o.b):
+                if operand not in names:
+                    raise DFGError(f"op {o.name!r} references unknown value {operand!r}")
+                if operand not in seen and operand != o.name:
+                    # allow only backward refs (ops listed topologically)
+                    raise DFGError(f"op {o.name!r} reads {operand!r} before definition")
+            seen.add(o.name)
+        for port, val in self.outputs.items():
+            if val not in names:
+                raise DFGError(f"output {port!r} references unknown value {val!r}")
+        if self.loop_condition is not None:
+            self.op_by_name(self.loop_condition)
+            if not self.loop_updates:
+                raise DFGError("a loop needs at least one loop-carried update")
+        for var, producer in self.loop_updates.items():
+            if var not in self.inputs:
+                raise DFGError(f"loop variable {var!r} must be a primary input")
+            self.op_by_name(producer)
+        for name, value in self.constants.items():
+            if not 0 <= value < (1 << self.width):
+                raise DFGError(f"constant {name!r}={value} does not fit in {self.width} bits")
+
+    def eval_once(self, env: dict[str, int]) -> dict[str, int]:
+        """Reference semantics: evaluate the body once over ``env``.
+
+        Returns the environment extended with every op result (modulo
+        2**width; LT yields 0/1).  Used by tests and the reference model.
+        """
+        mask = (1 << self.width) - 1
+        vals = dict(env)
+        for cname, cval in self.constants.items():
+            vals[cname] = cval
+        for o in self.ops:
+            a, b = vals[o.a], vals[o.b]
+            if o.kind is OpKind.ADD:
+                r = (a + b) & mask
+            elif o.kind is OpKind.SUB:
+                r = (a - b) & mask
+            elif o.kind is OpKind.MUL:
+                r = (a * b) & mask
+            elif o.kind is OpKind.LT:
+                r = int(a < b)
+            elif o.kind is OpKind.AND:
+                r = a & b
+            elif o.kind is OpKind.OR:
+                r = a | b
+            else:
+                r = a ^ b
+            vals[o.name] = r
+        return vals
+
+    def execute(self, env: dict[str, int], max_iterations: int = 64) -> tuple[dict[str, int], int]:
+        """Reference semantics including the loop.
+
+        Returns (output port values, iteration count).  Iteration is capped
+        (4-bit arithmetic can loop forever for some data).
+        """
+        self.validate()
+        state = {name: env[name] for name in self.inputs}
+        iterations = 0
+        while True:
+            vals = self.eval_once(state)
+            iterations += 1
+            if self.loop_condition is None:
+                break
+            for var, producer in self.loop_updates.items():
+                state[var] = vals[producer]
+            if not vals[self.loop_condition] or iterations >= max_iterations:
+                break
+        # A loop variable's register holds the *post-update* value once the
+        # machine reaches HOLD, so output ports naming a loop variable read
+        # the updated state, not the value it had going into the last pass.
+        outs = {
+            port: (state[val] if val in self.loop_updates else vals[val])
+            for port, val in self.outputs.items()
+        }
+        return outs, iterations

@@ -1,0 +1,128 @@
+"""Tiny behavioural front end: text -> data-flow graph.
+
+SYNTEST consumed behavioural descriptions; this module provides the same
+convenience for the reproduction.  The language is line-oriented:
+
+.. code-block:: text
+
+    # forward-Euler differential equation solver
+    design diffeq
+    width 4
+    inputs x y u dx a
+    const three 3
+    m1 = three * x
+    m2 = m1 * u
+    x1 = x + dx
+    c  = x1 < a
+    loop c
+    update x x1
+    output y_out y
+
+Statements:
+
+* ``design NAME`` / ``width N`` -- header (optional; defaults apply);
+* ``inputs A B C`` -- primary data inputs;
+* ``const NAME VALUE`` -- named constant;
+* ``R = A op B`` with op in ``+ - * < & | ^`` -- one operation;
+* ``loop COND`` -- run the body while op ``COND``'s result is 1;
+* ``update VAR VALUE`` -- loop-carried assignment at end of each pass;
+* ``output PORT VALUE`` -- observed result;
+* ``#`` starts a comment.
+
+``format_behavior`` is the inverse; parse/format round-trips are tested.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .dfg import DFG, DFGError, OpKind
+
+_OP_BY_SYMBOL = {k.value: k for k in OpKind}
+
+_ASSIGN_RE = re.compile(
+    r"^(?P<dst>\w+)\s*=\s*(?P<a>\w+)\s*(?P<op>[-+*<&|^])\s*(?P<b>\w+)$"
+)
+
+
+class BehaviorSyntaxError(ValueError):
+    """Raised with a line number for unparseable input."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_behavior(text: str, name: str = "design", width: int = 4) -> DFG:
+    """Parse the behavioural language into a validated :class:`DFG`."""
+    dfg = DFG(name=name, width=width, inputs=[])
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        head, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if head == "design":
+            if not rest:
+                raise BehaviorSyntaxError(lineno, "design needs a name")
+            dfg.name = rest
+        elif head == "width":
+            try:
+                dfg.width = int(rest)
+            except ValueError:
+                raise BehaviorSyntaxError(lineno, f"bad width {rest!r}") from None
+        elif head == "inputs":
+            names = rest.split()
+            if not names:
+                raise BehaviorSyntaxError(lineno, "inputs needs at least one name")
+            dfg.inputs.extend(names)
+        elif head == "const":
+            parts = rest.split()
+            if len(parts) != 2:
+                raise BehaviorSyntaxError(lineno, "const NAME VALUE")
+            try:
+                dfg.constants[parts[0]] = int(parts[1], 0)
+            except ValueError:
+                raise BehaviorSyntaxError(lineno, f"bad constant {parts[1]!r}") from None
+        elif head == "loop":
+            if not rest or len(rest.split()) != 1:
+                raise BehaviorSyntaxError(lineno, "loop COND")
+            dfg.loop_condition = rest
+        elif head == "update":
+            parts = rest.split()
+            if len(parts) != 2:
+                raise BehaviorSyntaxError(lineno, "update VAR VALUE")
+            dfg.loop_updates[parts[0]] = parts[1]
+        elif head == "output":
+            parts = rest.split()
+            if len(parts) != 2:
+                raise BehaviorSyntaxError(lineno, "output PORT VALUE")
+            dfg.outputs[parts[0]] = parts[1]
+        else:
+            m = _ASSIGN_RE.match(line)
+            if not m:
+                raise BehaviorSyntaxError(lineno, f"unparseable statement {line!r}")
+            dfg.op(m["dst"], _OP_BY_SYMBOL[m["op"]], m["a"], m["b"])
+    try:
+        dfg.validate()
+    except DFGError as exc:
+        raise BehaviorSyntaxError(0, str(exc)) from exc
+    return dfg
+
+
+def format_behavior(dfg: DFG) -> str:
+    """Render a DFG back into the behavioural language."""
+    lines = [f"design {dfg.name}", f"width {dfg.width}"]
+    if dfg.inputs:
+        lines.append("inputs " + " ".join(dfg.inputs))
+    for cname, val in dfg.constants.items():
+        lines.append(f"const {cname} {val}")
+    for op in dfg.ops:
+        lines.append(f"{op.name} = {op.a} {op.kind.value} {op.b}")
+    if dfg.loop_condition:
+        lines.append(f"loop {dfg.loop_condition}")
+    for var, producer in dfg.loop_updates.items():
+        lines.append(f"update {var} {producer}")
+    for port, value in dfg.outputs.items():
+        lines.append(f"output {port} {value}")
+    return "\n".join(lines) + "\n"

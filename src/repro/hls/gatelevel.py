@@ -1,0 +1,218 @@
+"""RTL -> gate-level elaboration of the datapath.
+
+Expands the :class:`~repro.hls.rtl.RTLDesign` structure into the gate
+library: MUX2 trees for multiplexers, ripple-carry adders/subtractors, a
+truncated array multiplier, an unsigned magnitude comparator, bitwise
+logic units, and enable-gated flip-flops (DFFE) for the registers.
+
+All control lines (register load lines and mux select lines) are primary
+inputs of the produced netlist, so the datapath can be driven either by a
+synthesized controller (via :mod:`repro.hls.system`) or directly by a
+testbench.  Gates are tagged ``dp:<component>`` for per-component power
+breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.builder import NetlistBuilder
+from ..netlist.netlist import Netlist
+from .dfg import OpKind
+from .rtl import MuxSpec, RTLDesign, Source
+
+COND_OUT = "cond_out"
+
+
+@dataclass
+class DatapathNets:
+    """The elaborated datapath and its interface nets."""
+
+    netlist: Netlist
+    control_nets: dict[str, int]
+    input_buses: dict[str, list[int]]
+    output_buses: dict[str, list[int]]
+    reg_q: dict[str, list[int]]
+    cond_net: int | None = None
+    fu_out: dict[str, list[int]] = field(default_factory=dict)
+
+
+def _ripple_add(b: NetlistBuilder, a, bb, cin, tag, with_carry: bool = True):
+    """Ripple-carry add; returns (sum bus, carry out or None).
+
+    ``with_carry=False`` skips the final carry stage entirely -- building
+    logic whose output is discarded would create untestable faults and
+    phantom switching power."""
+    s_bus = []
+    carry = cin
+    last = len(a) - 1
+    for i in range(len(a)):
+        x = b.xor_([a[i], bb[i]], tag=tag)
+        s_bus.append(b.xor_([x, carry], tag=tag))
+        if i == last and not with_carry:
+            return s_bus, None
+        g = b.and_([a[i], bb[i]], tag=tag)
+        p = b.and_([x, carry], tag=tag)
+        carry = b.or_([g, p], tag=tag)
+    return s_bus, carry
+
+
+def _subtract(b: NetlistBuilder, a, bb, tag, with_carry: bool = True):
+    """a - b via a + ~b + 1; returns (difference bus, carry out)."""
+    inv = [b.not_(bit, tag=tag) for bit in bb]
+    one = b.const1(tag=tag)
+    return _ripple_add(b, a, inv, one, tag, with_carry=with_carry)
+
+
+def _multiply(b: NetlistBuilder, a, bb, tag):
+    """Truncated array multiplier: low ``w`` bits of a*b.
+
+    Row accumulation only touches the columns a row can affect, so no
+    gate's output is ever discarded."""
+    w = len(a)
+    zero = b.const0(tag=tag)
+    acc = [b.and_([a[i], bb[0]], tag=tag) for i in range(w)]
+    for j in range(1, w):
+        row = [b.and_([a[i], bb[j]], tag=tag) for i in range(w - j)]
+        upper, _ = _ripple_add(b, acc[j:], row, zero, tag, with_carry=False)
+        acc = acc[:j] + upper
+    return acc
+
+
+def _less_than(b: NetlistBuilder, a, bb, tag):
+    """Unsigned a < b: borrow out of a - b."""
+    _, carry = _subtract(b, a, bb, tag)
+    return b.not_(carry, tag=tag)
+
+
+def _fu_logic(b: NetlistBuilder, kind: OpKind, a, bb, tag):
+    if kind is OpKind.ADD:
+        zero = b.const0(tag=tag)
+        s, _ = _ripple_add(b, a, bb, zero, tag, with_carry=False)
+        return s
+    if kind is OpKind.SUB:
+        s, _ = _subtract(b, a, bb, tag, with_carry=False)
+        return s
+    if kind is OpKind.MUL:
+        return _multiply(b, a, bb, tag)
+    if kind is OpKind.LT:
+        return [_less_than(b, a, bb, tag)]
+    if kind is OpKind.AND:
+        return [b.and_([a[i], bb[i]], tag=tag) for i in range(len(a))]
+    if kind is OpKind.OR:
+        return [b.or_([a[i], bb[i]], tag=tag) for i in range(len(a))]
+    if kind is OpKind.XOR:
+        return [b.xor_([a[i], bb[i]], tag=tag) for i in range(len(a))]
+    raise ValueError(f"unsupported FU kind {kind}")
+
+
+def _mux_tree(
+    b: NetlistBuilder,
+    mux: MuxSpec,
+    source_buses: list[list[int]],
+    sel_nets: list[int],
+    tag: str,
+) -> list[int]:
+    """Binary MUX2 tree selecting among ``source_buses`` (LSB-first sel)."""
+    if len(source_buses) == 1:
+        return source_buses[0]
+    width = len(source_buses[0])
+    padded = list(source_buses)
+    while len(padded) < (1 << len(sel_nets)):
+        padded.append(source_buses[0])
+    level = padded
+    for sel in sel_nets:
+        nxt = []
+        for i in range(0, len(level), 2):
+            nxt.append(
+                [b.mux2_(sel, level[i][k], level[i + 1][k], tag=tag) for k in range(width)]
+            )
+        level = nxt
+    assert len(level) == 1
+    return level[0]
+
+
+def elaborate_datapath(rtl: RTLDesign, gated_clocks: bool = True) -> DatapathNets:
+    """Expand ``rtl`` into a gate-level datapath netlist.
+
+    ``gated_clocks`` selects the register style.  True (default, the
+    paper's low-power assumption) uses enable-gated flip-flops (``DFFE``)
+    that burn clock energy only on loading cycles -- the reason extra-load
+    SFR faults are guaranteed to increase power.  False builds the
+    free-running alternative: a recirculating MUX2 in front of a plain
+    ``DFF`` that clocks every cycle, the style the ablation bench uses to
+    show the power test loses most of its load-fault signal without clock
+    gating."""
+    w = rtl.width
+    b = NetlistBuilder(name=f"{rtl.name}_dp")
+
+    control_nets = {line: b.input(line) for line in rtl.load_lines + rtl.sel_lines}
+    input_buses = {name: b.input_bus(name, w) for name in rtl.dfg.inputs}
+    const_buses = {
+        name: b.const_bus(value, w, tag="dp:const")
+        for name, value in rtl.dfg.constants.items()
+    }
+    reg_q = {r.name: b.bus(f"{r.name}_q", w) for r in rtl.registers}
+
+    def source_bus(src: Source) -> list[int]:
+        if src.kind == "input":
+            return input_buses[src.ref]
+        if src.kind == "const":
+            return const_buses[src.ref]
+        if src.kind == "reg":
+            return reg_q[src.ref]
+        if src.kind == "fu":
+            return fu_out[src.ref]
+        raise ValueError(src.kind)
+
+    # Functional units (port muxes read registers/constants only, so they
+    # can elaborate before the register input muxes that read FU outputs).
+    fu_out: dict[str, list[int]] = {}
+    cond_net: int | None = None
+    for f in rtl.fus:
+        tag = f"dp:{f.name}"
+        a_bus = _mux_tree(b, f.mux_a, [source_bus(s) for s in f.mux_a.sources],
+                          [control_nets[s] for s in f.mux_a.sel_names], tag)
+        b_bus = _mux_tree(b, f.mux_b, [source_bus(s) for s in f.mux_b.sources],
+                          [control_nets[s] for s in f.mux_b.sel_names], tag)
+        out = _fu_logic(b, f.kind, a_bus, b_bus, tag)
+        if len(out) < w:
+            zero = b.const0(tag=tag)
+            out = out + [zero] * (w - len(out))
+        fu_out[f.name] = out
+        if rtl.cond_fu == f.name:
+            cond_net = out[0]
+            b.output(cond_net)
+            # Give the comparator bit a stable exported name.
+            # (The net itself keeps its generated name; system.py binds it.)
+
+    # Registers: input mux tree + flip-flop bank.
+    for r in rtl.registers:
+        tag = f"dp:{r.name}"
+        d_bus = _mux_tree(b, r.input_mux, [source_bus(s) for s in r.input_mux.sources],
+                          [control_nets[s] for s in r.input_mux.sel_names], tag)
+        en = control_nets[r.load_line]
+        for i in range(w):
+            if gated_clocks:
+                b.dffe(en, d_bus[i], output=reg_q[r.name][i],
+                       name=f"{r.name}_ff{i}", tag=tag)
+            else:
+                hold = b.mux2_(en, reg_q[r.name][i], d_bus[i],
+                               name=f"{r.name}_hold{i}", tag=tag)
+                b.dff(hold, output=reg_q[r.name][i], name=f"{r.name}_ff{i}", tag=tag)
+
+    output_buses = {}
+    for port, reg_name in rtl.outputs.items():
+        output_buses[port] = reg_q[reg_name]
+        b.output_bus(reg_q[reg_name])
+
+    netlist = b.done()
+    return DatapathNets(
+        netlist=netlist,
+        control_nets=control_nets,
+        input_buses=input_buses,
+        output_buses=output_buses,
+        reg_q=reg_q,
+        cond_net=cond_net,
+        fu_out=fu_out,
+    )

@@ -1,0 +1,237 @@
+"""Register-transfer-level design model.
+
+This is the pivotal structure of the reproduction: everything the paper's
+analysis needs lives here --
+
+* the structural datapath (registers, functional units, multiplexers and
+  their source lists) in the paper's mux -> ALU -> register style;
+* the control table: per control state, the value of every register load
+  line and multiplexer select line, with explicit don't-cares (Section 3's
+  "care"/"don't care" select specifications);
+* binding metadata: which value lives in which register when, which op runs
+  on which FU in which step -- the raw material for variable lifespan
+  analysis and SFR/SFI classification.
+
+States are named ``RESET, CS1..CSn, HOLD`` exactly as in the paper's
+differential equation example (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dfg import DFG, OpKind
+from .schedule import Schedule
+
+RESET_STATE = "RESET"
+HOLD_STATE = "HOLD"
+
+
+def state_names(n_steps: int) -> list[str]:
+    """RESET, CS1..CSn, HOLD."""
+    return [RESET_STATE] + [f"CS{i}" for i in range(1, n_steps + 1)] + [HOLD_STATE]
+
+
+def cs_state(step: int) -> str:
+    return f"CS{step}"
+
+
+@dataclass(frozen=True)
+class Source:
+    """One selectable data source.
+
+    ``kind`` is one of ``'input'`` (primary input port), ``'const'``
+    (hardwired constant), ``'fu'`` (functional unit output) or ``'reg'``
+    (register output).  FU port muxes read registers/constants; register
+    input muxes read FU outputs or the input port."""
+
+    kind: str  # 'input' | 'const' | 'fu' | 'reg'
+    ref: str
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.ref}"
+
+
+@dataclass
+class MuxSpec:
+    """A multiplexer (possibly degenerate with one source).
+
+    ``sel_names`` lists the select control lines LSB-first; selecting source
+    ``i`` drives the bits of ``i`` onto those lines.
+    """
+
+    name: str
+    sources: list[Source]
+    sel_names: list[str] = field(default_factory=list)
+
+    @property
+    def n_sel_bits(self) -> int:
+        n = len(self.sources)
+        return 0 if n <= 1 else (n - 1).bit_length()
+
+    def source_index(self, source: Source) -> int:
+        return self.sources.index(source)
+
+    def sel_bits_for(self, index: int) -> dict[str, int]:
+        """Control-line assignment that selects source ``index``."""
+        return {name: (index >> bit) & 1 for bit, name in enumerate(self.sel_names)}
+
+
+@dataclass
+class RegisterSpec:
+    """A datapath register with its load line and input mux."""
+
+    name: str
+    load_line: str
+    input_mux: MuxSpec
+    holds: list[str] = field(default_factory=list)
+
+
+@dataclass
+class FUSpec:
+    """A single-function functional unit with two input port muxes."""
+
+    name: str
+    kind: OpKind
+    mux_a: MuxSpec
+    mux_b: MuxSpec
+
+
+@dataclass
+class OpBinding:
+    """Where and when one DFG op executes."""
+
+    op: str
+    fu: str
+    step: int
+    dest_register: str | None  # None for the loop condition
+
+
+@dataclass
+class ControlTable:
+    """Fully scheduled control specification with explicit don't-cares."""
+
+    states: list[str]
+    loads: dict[str, dict[str, int]]
+    selects: dict[str, dict[str, int | None]]
+
+    def control_lines(self) -> list[str]:
+        first = self.states[0]
+        return list(self.loads[first]) + list(self.selects[first])
+
+    def line_value(self, state: str, line: str) -> int | None:
+        if line in self.loads[state]:
+            return self.loads[state][line]
+        return self.selects[state][line]
+
+
+@dataclass
+class RTLDesign:
+    """The bound RTL datapath plus its control table and metadata."""
+
+    name: str
+    width: int
+    dfg: DFG
+    schedule: Schedule
+    registers: list[RegisterSpec]
+    fus: list[FUSpec]
+    bindings: dict[str, OpBinding]
+    value_reg: dict[str, str]
+    load_lines: list[str]
+    sel_lines: list[str]
+    regs_on_line: dict[str, list[str]]
+    control: ControlTable
+    outputs: dict[str, str]  # port -> register
+    cond_fu: str | None = None
+    cond_step: int | None = None
+
+    # ------------------------------------------------------------- lookups
+    def register(self, name: str) -> RegisterSpec:
+        for r in self.registers:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def fu(self, name: str) -> FUSpec:
+        for f in self.fus:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def all_muxes(self) -> list[MuxSpec]:
+        out = []
+        for f in self.fus:
+            out.extend([f.mux_a, f.mux_b])
+        for r in self.registers:
+            out.append(r.input_mux)
+        return out
+
+    def mux_of_sel(self, sel_name: str) -> MuxSpec:
+        for m in self.all_muxes():
+            if sel_name in m.sel_names:
+                return m
+        raise KeyError(sel_name)
+
+    def line_of_register(self, reg_name: str) -> str:
+        return self.register(reg_name).load_line
+
+    @property
+    def states(self) -> list[str]:
+        return self.control.states
+
+    # --------------------------------------------------------- activity info
+    def ops_in_state(self, state: str):
+        """Op bindings executing in a CS state (empty for RESET/HOLD)."""
+        if not state.startswith("CS"):
+            return []
+        step = int(state[2:])
+        return [b for b in self.bindings.values() if b.step == step]
+
+    def mux_active_states(self, mux: MuxSpec) -> set[str]:
+        """States in which the mux's output is consumed (its selects are
+        "cares"): FU port muxes when an op on that FU executes; register
+        input muxes when the register loads."""
+        active: set[str] = set()
+        for f in self.fus:
+            if mux.name in (f.mux_a.name, f.mux_b.name):
+                for b in self.bindings.values():
+                    if b.fu == f.name:
+                        active.add(cs_state(b.step))
+                return active
+        for r in self.registers:
+            if mux.name == r.input_mux.name:
+                for state in self.states:
+                    if self.control.loads[state].get(r.load_line):
+                        # A shared line may load several registers; the mux
+                        # is active whenever its register's line is high.
+                        active.add(state)
+                return active
+        raise KeyError(mux.name)
+
+    def reg_load_states(self, reg_name: str) -> set[str]:
+        line = self.line_of_register(reg_name)
+        return {s for s in self.states if self.control.loads[s].get(line)}
+
+    def reg_read_states(self, reg_name: str) -> set[str]:
+        """States in which the register's output is consumed: an executing
+        op reads one of its values, or (for output registers) a HOLD
+        observation."""
+        reads: set[str] = set()
+        for b in self.bindings.values():
+            op = self.dfg.op_by_name(b.op)
+            for operand in (op.a, op.b):
+                if self.value_reg.get(operand) == reg_name:
+                    reads.add(cs_state(b.step))
+        if reg_name in self.outputs.values():
+            reads.add(HOLD_STATE)
+        return reads
+
+    def summary(self) -> str:
+        """One-paragraph structural summary (mirrors the paper's prose)."""
+        n_sel = len(self.sel_lines)
+        return (
+            f"{self.name}: {len(self.registers)} registers on "
+            f"{len(self.load_lines)} load lines, {n_sel} mux select lines, "
+            f"{len(self.fus)} FUs, {self.schedule.n_steps} control steps "
+            f"({len(self.states)} states incl. RESET/HOLD)"
+        )

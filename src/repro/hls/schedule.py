@@ -1,0 +1,165 @@
+"""Resource-constrained list scheduling.
+
+Operations are scheduled into control steps 1..T under per-kind functional
+unit limits.  Constraints:
+
+* data dependence: a consumer runs at least one step after its producer
+  (results pass through a register; no chaining -- the paper's datapath
+  style is mux -> ALU -> register, one operation per step per FU);
+* anti-dependence: the op producing a loop variable's next value may not run
+  before any reader of the old value (the update overwrites the register);
+* the loop condition op is forced into the final control step so the
+  comparator output feeds the controller exactly when the state transition
+  is decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dfg import DFG, DFGError, Op, OpKind
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling: op name -> control step (1-based)."""
+
+    steps: dict[str, int]
+    n_steps: int
+
+    def ops_in_step(self, dfg: DFG, step: int) -> list[Op]:
+        return [o for o in dfg.ops if self.steps[o.name] == step]
+
+
+def _dependency_edges(dfg: DFG):
+    """Yield (pred, succ, min_delta) scheduling constraints."""
+    op_names = {o.name for o in dfg.ops}
+    for o in dfg.ops:
+        for operand in (o.a, o.b):
+            if operand in op_names:
+                yield operand, o.name, 1
+    # Anti-dependences for loop-carried updates.
+    for var, producer in dfg.loop_updates.items():
+        for reader in dfg.readers_of(var):
+            if reader.name != producer:
+                yield reader.name, producer, 0
+
+
+def asap_steps(dfg: DFG) -> dict[str, int]:
+    """Unconstrained earliest step per op (longest path)."""
+    preds: dict[str, list[tuple[str, int]]] = {o.name: [] for o in dfg.ops}
+    for pred, succ, delta in _dependency_edges(dfg):
+        preds[succ].append((pred, delta))
+    steps: dict[str, int] = {}
+
+    def visit(name: str, stack: tuple = ()) -> int:
+        if name in steps:
+            return steps[name]
+        if name in stack:
+            raise DFGError(f"cyclic scheduling constraint through {name!r}")
+        s = 1
+        for pred, delta in preds[name]:
+            s = max(s, visit(pred, stack + (name,)) + delta)
+        steps[name] = s
+        return s
+
+    for o in dfg.ops:
+        visit(o.name)
+    return steps
+
+
+def alap_steps(dfg: DFG, horizon: int) -> dict[str, int]:
+    """Latest feasible step per op against a fixed horizon."""
+    succs: dict[str, list[tuple[str, int]]] = {o.name: [] for o in dfg.ops}
+    for pred, succ, delta in _dependency_edges(dfg):
+        succs[pred].append((succ, delta))
+    steps: dict[str, int] = {}
+
+    def visit(name: str) -> int:
+        if name in steps:
+            return steps[name]
+        s = horizon
+        for succ, delta in succs[name]:
+            s = min(s, visit(succ) - delta)
+        steps[name] = s
+        return s
+
+    for o in dfg.ops:
+        visit(o.name)
+    return steps
+
+
+def list_schedule(
+    dfg: DFG,
+    resources: dict[OpKind, int],
+    force_cond_last: bool = True,
+    cond_own_step: bool = True,
+) -> Schedule:
+    """List-schedule ``dfg`` under per-kind FU limits.
+
+    Args:
+        dfg: validated data-flow graph.
+        resources: maximum simultaneous ops per :class:`OpKind`; kinds not
+            listed default to 1 unit.
+        force_cond_last: place the loop condition in the final step.
+        cond_own_step: give the condition a dedicated final step (the
+            paper's Diffeq evaluates its comparison in CS8 by itself).
+    """
+    dfg.validate()
+    limit = {k: resources.get(k, 1) for k in OpKind}
+    asap = asap_steps(dfg)
+    horizon = max(asap.values(), default=1)
+    alap = alap_steps(dfg, horizon)
+
+    preds: dict[str, list[tuple[str, int]]] = {o.name: [] for o in dfg.ops}
+    for pred, succ, delta in _dependency_edges(dfg):
+        preds[succ].append((pred, delta))
+
+    kind_of = {o.name: o.kind for o in dfg.ops}
+    unscheduled = {o.name for o in dfg.ops}
+    steps: dict[str, int] = {}
+    step = 0
+    while unscheduled:
+        step += 1
+        if step > 10 * (len(dfg.ops) + 1):
+            raise DFGError("scheduler failed to converge (constraint cycle?)")
+        used: dict[OpKind, int] = {k: 0 for k in OpKind}
+        ready = []
+        for name in unscheduled:
+            ok = True
+            for pred, delta in preds[name]:
+                if pred not in steps or steps[pred] + delta > step:
+                    ok = False
+                    break
+            if ok:
+                ready.append(name)
+        # Most urgent (smallest ALAP slack) first; name breaks ties stably.
+        ready.sort(key=lambda n: (alap[n], n))
+        for name in ready:
+            k = kind_of[name]
+            if used[k] < limit[k]:
+                used[k] += 1
+                steps[name] = step
+                unscheduled.discard(name)
+
+    n_steps = max(steps.values())
+    if force_cond_last and dfg.loop_condition is not None:
+        cond = dfg.loop_condition
+        earliest = 1
+        for pred, delta in preds[cond]:
+            earliest = max(earliest, steps[pred] + delta)
+        others_last = max((s for n, s in steps.items() if n != cond), default=0)
+        target = max(others_last + 1, earliest) if cond_own_step else max(n_steps, earliest)
+        # Respect the LT resource limit in the target step.
+        while (
+            sum(
+                1
+                for n, s in steps.items()
+                if n != cond and s == target and kind_of[n] is kind_of[cond]
+            )
+            >= limit[kind_of[cond]]
+        ):
+            target += 1
+        steps[cond] = target
+        n_steps = max(n_steps, target)
+    return Schedule(steps=steps, n_steps=n_steps)

@@ -1,0 +1,204 @@
+"""Integrated controller-datapath system assembly and normal-mode harness.
+
+``build_system`` flattens the synthesized controller and the elaborated
+datapath into one netlist wired exactly as Figure 1 of the paper: control
+lines run from the controller into the datapath, the comparator status bit
+runs back, and only ``reset``, ``start`` and the data inputs/outputs touch
+the outside world.
+
+``NormalModeStimulus`` drives a full computation per pattern: one reset
+cycle, then ``start`` held high while the data inputs stay constant --
+the paper's normal-mode operation on one test pattern.  ``hold_masks``
+extracts, per cycle and pattern, whether the fault-free machine has
+reached HOLD; system observability (and hence the SFR/SFI split) is
+defined by sampling the data outputs at those times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.builder import NetlistBuilder
+from ..netlist.netlist import Gate, Netlist
+from ..synth.controller import SynthesizedController, synthesize_controller
+from ..synth.fsm import FSM
+from .controlword import COND_INPUT, START_INPUT, build_fsm
+from .gatelevel import DatapathNets, elaborate_datapath
+from .rtl import HOLD_STATE, RTLDesign
+
+
+@dataclass
+class System:
+    """One integrated controller-datapath pair."""
+
+    netlist: Netlist
+    rtl: RTLDesign
+    fsm: FSM
+    controller: SynthesizedController
+    reset_net: int
+    start_net: int
+    input_buses: dict[str, list[int]]
+    output_buses: dict[str, list[int]]
+    control_nets: dict[str, int]
+    state_nets: list[int]
+    reg_q: dict[str, list[int]]
+    cond_net: int | None
+    #: standalone-controller net name -> system net id
+    ctrl_net_map: dict[str, int] | None = None
+    #: standalone-controller gate index -> system gate index
+    ctrl_gate_map: dict[int, int] | None = None
+
+    def to_system_fault(self, site):
+        """Translate a fault site enumerated on the standalone controller
+        netlist into the equivalent site in the flattened system."""
+        from ..logic.faults import FaultSite
+
+        assert self.ctrl_gate_map is not None and self.ctrl_net_map is not None
+        gate = None if site.gate_index is None else self.ctrl_gate_map[site.gate_index]
+        net = self.ctrl_net_map[self.controller.netlist.net_names[site.net]]
+        return FaultSite(gate, site.pin, net, site.value)
+
+    def controller_gates(self) -> list[Gate]:
+        """The paper's fault universe: gates inside the controller."""
+        return self.netlist.gates_with_tag("ctrl")
+
+    def datapath_gates(self) -> list[Gate]:
+        return self.netlist.gates_with_tag("dp")
+
+    @property
+    def n_steps(self) -> int:
+        return self.rtl.schedule.n_steps
+
+    def cycles_for(self, iterations: int, hold_cycles: int = 3) -> int:
+        """Cycle budget: reset + RESET + ``iterations`` body passes + HOLD."""
+        return 2 + self.n_steps * max(1, iterations) + hold_cycles
+
+    def hold_code_planes(self, sim) -> np.ndarray:
+        """Word-mask of patterns whose controller state is HOLD."""
+        code = self.controller.encoding.codes[HOLD_STATE]
+        mask = None
+        for j, net in enumerate(self.state_nets):
+            plane = sim.O[net] if (code >> j) & 1 else sim.Z[net]
+            mask = plane.copy() if mask is None else mask & plane
+        assert mask is not None
+        return mask
+
+
+def build_system(
+    rtl: RTLDesign,
+    encoding_kind: str = "binary",
+    max_fanin: int = 4,
+    output_style: str = "pla",
+    gated_clocks: bool = True,
+) -> System:
+    """Synthesize the controller and flatten it with the datapath."""
+    fsm = build_fsm(rtl)
+    ctrl = synthesize_controller(
+        fsm, encoding_kind=encoding_kind, max_fanin=max_fanin, output_style=output_style
+    )
+    dp: DatapathNets = elaborate_datapath(rtl, gated_clocks=gated_clocks)
+
+    b = NetlistBuilder(name=rtl.name)
+    reset = b.input("reset")
+    start = b.input(START_INPUT)
+    input_buses = {name: b.input_bus(name, rtl.width) for name in rtl.dfg.inputs}
+
+    control_nets = {line: b.net(f"ctl_{line}") for line in rtl.load_lines + rtl.sel_lines}
+    cond_bit = b.net("cond_bit") if rtl.cond_fu else None
+
+    dp_bindings: dict[str, int] = {}
+    for line, net in control_nets.items():
+        dp_bindings[line] = net
+    for name, bus in input_buses.items():
+        for i, net in enumerate(bus):
+            dp_bindings[f"{name}[{i}]"] = net
+    if cond_bit is not None and dp.cond_net is not None:
+        dp_bindings[dp.netlist.net_names[dp.cond_net]] = cond_bit
+    dp_map = b.instantiate(dp.netlist, dp_bindings, prefix="dp")
+
+    ctrl_bindings: dict[str, int] = {"reset": reset, START_INPUT: start}
+    if cond_bit is not None:
+        ctrl_bindings[COND_INPUT] = cond_bit
+    for line, net in control_nets.items():
+        ctrl_bindings[line] = net
+    ctrl_map = b.instantiate(ctrl.netlist, ctrl_bindings, prefix="ctrl")
+
+    output_buses = {}
+    for port, reg_name in rtl.outputs.items():
+        bus = [dp_map[f"{reg_name}_q[{i}]"] for i in range(rtl.width)]
+        output_buses[port] = bus
+        b.output_bus(bus)
+
+    netlist = b.done()
+    reg_q = {
+        r.name: [dp_map[f"{r.name}_q[{i}]"] for i in range(rtl.width)]
+        for r in rtl.registers
+    }
+    state_nets = [ctrl_map[f"state[{j}]"] for j in range(ctrl.encoding.n_bits)]
+    ctrl_gate_map = {}
+    by_name = {g.name: g.index for g in netlist.gates}
+    for g in ctrl.netlist.gates:
+        ctrl_gate_map[g.index] = by_name[f"ctrl/{g.name}"]
+    return System(
+        netlist=netlist,
+        rtl=rtl,
+        fsm=fsm,
+        controller=ctrl,
+        reset_net=reset,
+        start_net=start,
+        input_buses=input_buses,
+        output_buses=output_buses,
+        control_nets=control_nets,
+        state_nets=state_nets,
+        reg_q=reg_q,
+        cond_net=cond_bit,
+        ctrl_net_map=ctrl_map,
+        ctrl_gate_map=ctrl_gate_map,
+    )
+
+
+class NormalModeStimulus:
+    """Drive one full computation per pattern.
+
+    Cycle 0 asserts ``reset`` (start already high); from cycle 1 onward the
+    machine runs free.  Data inputs are held constant for the whole run,
+    exactly as a tester applies one pattern per computation.
+    """
+
+    def __init__(self, system: System, data: dict[str, np.ndarray], n_cycles: int):
+        lengths = {len(np.asarray(v)) for v in data.values()}
+        if len(lengths) != 1:
+            raise ValueError("all data arrays must have the same length")
+        missing = set(system.rtl.dfg.inputs) - set(data)
+        if missing:
+            raise ValueError(f"missing data for inputs {sorted(missing)}")
+        self.system = system
+        self.data = {k: np.asarray(v, dtype=np.int64) for k, v in data.items()}
+        self.n_patterns = lengths.pop()
+        self.n_cycles = n_cycles
+
+    def apply(self, sim, cycle: int) -> None:
+        if cycle == 0:
+            sim.drive_const(self.system.reset_net, 1)
+            sim.drive_const(self.system.start_net, 1)
+            for name, bus in self.system.input_buses.items():
+                sim.drive_bus(bus, self.data[name])
+        elif cycle == 1:
+            sim.drive_const(self.system.reset_net, 0)
+
+
+def hold_masks(system: System, stimulus: NormalModeStimulus) -> list[np.ndarray]:
+    """Per-cycle word-masks of patterns whose *fault-free* machine is in
+    HOLD -- the output sampling schedule for fault detection."""
+    from ..logic.simulator import CycleSimulator
+
+    sim = CycleSimulator(system.netlist, stimulus.n_patterns)
+    masks = []
+    for cycle in range(stimulus.n_cycles):
+        stimulus.apply(sim, cycle)
+        sim.settle()
+        masks.append(system.hold_code_planes(sim))
+        sim.latch()
+    return masks

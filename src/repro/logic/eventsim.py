@@ -1,0 +1,169 @@
+"""Event-driven reference simulator (scalar, three-valued).
+
+An independent second implementation of the simulation semantics: one
+pattern at a time, plain Python ints (0, 1, -1 for X), a classic
+zero-delay event loop (changed net -> re-evaluate fanout gates until the
+wavefront dies out).  It exists to cross-validate the vectorised compiled
+simulator -- the property tests in ``tests/test_eventsim.py`` drive both
+engines with the same stimulus over randomly generated netlists and
+require bit-identical traces.
+
+It is 10-100x slower per pattern and is not used by the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..netlist.gates import GateType, is_constant, is_sequential
+from ..netlist.netlist import Netlist
+from .faults import FaultSite
+
+X = -1
+
+
+def _eval3(gtype: GateType, vals: list[int]) -> int:
+    """Three-valued gate evaluation on scalars."""
+    if gtype in (GateType.AND, GateType.NAND):
+        if 0 in vals:
+            out = 0
+        elif X in vals:
+            out = X
+        else:
+            out = 1
+        return out if gtype is GateType.AND else (X if out == X else 1 - out)
+    if gtype in (GateType.OR, GateType.NOR):
+        if 1 in vals:
+            out = 1
+        elif X in vals:
+            out = X
+        else:
+            out = 0
+        return out if gtype is GateType.OR else (X if out == X else 1 - out)
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if X in vals:
+            return X
+        out = sum(vals) % 2
+        return out if gtype is GateType.XOR else 1 - out
+    if gtype is GateType.NOT:
+        return X if vals[0] == X else 1 - vals[0]
+    if gtype is GateType.BUF:
+        return vals[0]
+    if gtype is GateType.MUX2:
+        s, a, b = vals
+        if s == 0:
+            return a
+        if s == 1:
+            return b
+        return a if (a == b and a != X) else X
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    raise AssertionError(f"not combinational: {gtype}")
+
+
+class EventSimulator:
+    """Scalar event-driven simulator mirroring CycleSimulator's semantics."""
+
+    def __init__(self, netlist: Netlist, faults: list[FaultSite] | None = None):
+        netlist.validate()
+        self.netlist = netlist
+        self.values: list[int] = [X] * netlist.num_nets
+        self._fanout = netlist.fanout_map()
+        self._stem: dict[int, int] = {}
+        self._branch: dict[tuple[int, int], int] = {}
+        for f in faults or []:
+            if f.is_stem:
+                self._stem[f.net] = f.value
+            else:
+                assert f.gate_index is not None
+                self._branch[(f.gate_index, f.pin)] = f.value
+        for g in netlist.gates:
+            if is_constant(g.gtype):
+                self._set(g.output, _eval3(g.gtype, []))
+        for net, val in self._stem.items():
+            self.values[net] = val
+        self.toggles = [0] * netlist.num_nets
+        self._prev: list[int] | None = None
+
+    # ------------------------------------------------------------- internal
+    def _set(self, net: int, value: int) -> None:
+        if net in self._stem:
+            value = self._stem[net]
+        self.values[net] = value
+
+    def _gate_inputs(self, gate) -> list[int]:
+        vals = []
+        for pin, net in enumerate(gate.inputs):
+            forced = self._branch.get((gate.index, pin))
+            vals.append(self.values[net] if forced is None else forced)
+        return vals
+
+    # ---------------------------------------------------------------- drive
+    def drive_const(self, net: int, value: int) -> None:
+        self._set(net, value)
+
+    # ----------------------------------------------------------------- eval
+    def settle(self) -> None:
+        """Propagate events until the combinational network is stable."""
+        queue = deque(g for g in self.netlist.gates
+                      if not is_sequential(g.gtype) and not is_constant(g.gtype))
+        queued = {g.index for g in queue}
+        guard = 0
+        limit = 4 * (len(self.netlist.gates) + 1) ** 2
+        while queue:
+            guard += 1
+            if guard > limit:
+                raise RuntimeError("event simulation did not stabilise")
+            gate = queue.popleft()
+            queued.discard(gate.index)
+            new = _eval3(gate.gtype, self._gate_inputs(gate))
+            if gate.output in self._stem:
+                new = self._stem[gate.output]
+            if new == self.values[gate.output]:
+                continue
+            self.values[gate.output] = new
+            for reader_idx, _pin in self._fanout[gate.output]:
+                reader = self.netlist.gates[reader_idx]
+                if is_sequential(reader.gtype) or is_constant(reader.gtype):
+                    continue
+                if reader.index not in queued:
+                    queue.append(reader)
+                    queued.add(reader.index)
+        # Toggle accounting against the previous settled frame.
+        if self._prev is not None:
+            for net in range(len(self.values)):
+                a, b = self._prev[net], self.values[net]
+                if a != X and b != X and a != b:
+                    self.toggles[net] += 1
+        self._prev = list(self.values)
+
+    def latch(self) -> None:
+        """Clock edge for every flip-flop."""
+        updates: list[tuple[int, int]] = []
+        for g in self.netlist.gates:
+            if g.gtype is GateType.DFF:
+                updates.append((g.output, self._gate_inputs(g)[0]))
+            elif g.gtype is GateType.DFFE:
+                en, d = self._gate_inputs(g)
+                q = self.values[g.output]
+                if en == 1:
+                    updates.append((g.output, d))
+                elif en == X:
+                    updates.append((g.output, d if (d == q and d != X) else X))
+        for net, val in updates:
+            self._set(net, val)
+
+    # ------------------------------------------------------------- observe
+    def sample(self, net: int) -> int:
+        return self.values[net]
+
+    def sample_bus(self, nets: list[int]) -> int:
+        out = 0
+        for i, net in enumerate(nets):
+            v = self.values[net]
+            if v == X:
+                return X
+            out |= v << i
+        return out

@@ -1,0 +1,192 @@
+"""Ergonomic construction of :class:`~repro.netlist.netlist.Netlist` objects.
+
+The builder adds three conveniences over raw ``Netlist``:
+
+* automatic net creation with fresh unique names;
+* bus helpers (a bus is just a Python list of net ids, LSB first, named
+  ``base[i]``);
+* ``instantiate`` -- flatten a previously built netlist into this one with a
+  name prefix, binding its ports to existing nets (this is how the
+  controller and the datapath are merged into one system netlist).
+"""
+
+from __future__ import annotations
+
+from .gates import GateType
+from .netlist import Gate, Netlist, NetlistError
+
+
+class NetlistBuilder:
+    """Incrementally builds a flat netlist."""
+
+    def __init__(self, name: str = "top"):
+        self.netlist = Netlist(name=name)
+        self._fresh = 0
+        self.default_tag = ""
+
+    # ------------------------------------------------------------------ nets
+    def net(self, name: str | None = None) -> int:
+        """Create (or return an existing) named net; fresh name if None."""
+        nl = self.netlist
+        if name is None:
+            name = self._fresh_name()
+        if nl.has_net(name):
+            return nl.net_id(name)
+        return nl.add_net(name)
+
+    def _fresh_name(self) -> str:
+        self._fresh += 1
+        return f"_n{self._fresh}"
+
+    def bus(self, base: str, width: int) -> list[int]:
+        """Create a bus of ``width`` nets named ``base[0] .. base[width-1]``."""
+        return [self.net(f"{base}[{i}]") for i in range(width)]
+
+    def input(self, name: str) -> int:
+        """Create a primary-input net."""
+        nid = self.net(name)
+        self.netlist.mark_input(nid)
+        return nid
+
+    def input_bus(self, base: str, width: int) -> list[int]:
+        """Create a primary-input bus."""
+        nets = self.bus(base, width)
+        for nid in nets:
+            self.netlist.mark_input(nid)
+        return nets
+
+    def output(self, net: int) -> int:
+        """Mark an existing net as a primary output."""
+        self.netlist.mark_output(net)
+        return net
+
+    def output_bus(self, nets: list[int]) -> list[int]:
+        """Mark a bus as primary outputs."""
+        for nid in nets:
+            self.netlist.mark_output(nid)
+        return nets
+
+    # ----------------------------------------------------------------- gates
+    def gate(
+        self,
+        gtype: GateType,
+        inputs: list[int],
+        output: int | None = None,
+        name: str | None = None,
+        tag: str | None = None,
+    ) -> int:
+        """Add a gate; returns the output net id."""
+        if output is None:
+            output = self.net()
+        self.netlist.add_gate(
+            gtype, output, inputs, name=name, tag=self.default_tag if tag is None else tag
+        )
+        return output
+
+    # Convenience wrappers -- one per gate type, reading naturally at
+    # call sites: ``s = b.xor_([a, c])``.
+    def and_(self, inputs, output=None, name=None, tag=None):
+        return self.gate(GateType.AND, list(inputs), output, name, tag)
+
+    def or_(self, inputs, output=None, name=None, tag=None):
+        return self.gate(GateType.OR, list(inputs), output, name, tag)
+
+    def nand_(self, inputs, output=None, name=None, tag=None):
+        return self.gate(GateType.NAND, list(inputs), output, name, tag)
+
+    def nor_(self, inputs, output=None, name=None, tag=None):
+        return self.gate(GateType.NOR, list(inputs), output, name, tag)
+
+    def xor_(self, inputs, output=None, name=None, tag=None):
+        return self.gate(GateType.XOR, list(inputs), output, name, tag)
+
+    def xnor_(self, inputs, output=None, name=None, tag=None):
+        return self.gate(GateType.XNOR, list(inputs), output, name, tag)
+
+    def not_(self, a, output=None, name=None, tag=None):
+        return self.gate(GateType.NOT, [a], output, name, tag)
+
+    def buf_(self, a, output=None, name=None, tag=None):
+        return self.gate(GateType.BUF, [a], output, name, tag)
+
+    def mux2_(self, sel, a, b, output=None, name=None, tag=None):
+        """2:1 mux -- returns ``b`` when ``sel`` is 1, else ``a``."""
+        return self.gate(GateType.MUX2, [sel, a, b], output, name, tag)
+
+    def const0(self, output=None, name=None, tag=None):
+        return self.gate(GateType.CONST0, [], output, name, tag)
+
+    def const1(self, output=None, name=None, tag=None):
+        return self.gate(GateType.CONST1, [], output, name, tag)
+
+    def dff(self, d, output=None, name=None, tag=None):
+        """Plain D flip-flop."""
+        return self.gate(GateType.DFF, [d], output, name, tag)
+
+    def dffe(self, en, d, output=None, name=None, tag=None):
+        """Enable-gated D flip-flop: loads ``d`` when ``en`` is 1."""
+        return self.gate(GateType.DFFE, [en, d], output, name, tag)
+
+    # ------------------------------------------------------------- hierarchy
+    def instantiate(
+        self,
+        sub: Netlist,
+        bindings: dict[str, int],
+        prefix: str,
+        tag: str | None = None,
+    ) -> dict[str, int]:
+        """Flatten ``sub`` into this netlist.
+
+        Args:
+            sub: the netlist to copy in.
+            bindings: maps *port net names of sub* (inputs and/or outputs)
+                to net ids already present in this builder.  Every primary
+                input of ``sub`` must be bound; outputs may be bound to
+                pre-created (undriven) nets or left to get prefixed names.
+            prefix: prepended (with ``/``) to all unbound net and gate names.
+            tag: overrides the copied gates' tags when given (otherwise the
+                sub's own tags are kept; untagged gates get ``prefix``).
+
+        Returns:
+            Mapping of every sub net name to its net id in this netlist.
+        """
+        nl = self.netlist
+        sub.validate()
+        mapping: dict[int, int] = {}
+        bound_ids = {sub.net_id(name): nid for name, nid in bindings.items()}
+        for pi in sub.inputs:
+            if pi not in bound_ids:
+                raise NetlistError(
+                    f"unbound input {sub.net_names[pi]!r} when instantiating {sub.name!r}"
+                )
+        for old_id, old_name in enumerate(sub.net_names):
+            if old_id in bound_ids:
+                mapping[old_id] = bound_ids[old_id]
+            else:
+                mapping[old_id] = self.net(f"{prefix}/{old_name}")
+        for gate in sub.gates:
+            new_tag = tag if tag is not None else (gate.tag or prefix)
+            nl.add_gate(
+                gate.gtype,
+                mapping[gate.output],
+                [mapping[i] for i in gate.inputs],
+                name=f"{prefix}/{gate.name}",
+                tag=new_tag,
+            )
+        return {name: mapping[i] for i, name in enumerate(sub.net_names)}
+
+    # --------------------------------------------------------------- word ops
+    def const_bus(self, value: int, width: int, tag=None) -> list[int]:
+        """Drive a bus with a constant ``width``-bit value (LSB first)."""
+        nets = []
+        for i in range(width):
+            if (value >> i) & 1:
+                nets.append(self.const1(tag=tag))
+            else:
+                nets.append(self.const0(tag=tag))
+        return nets
+
+    def done(self) -> Netlist:
+        """Validate and return the built netlist."""
+        self.netlist.validate()
+        return self.netlist

@@ -1,0 +1,108 @@
+"""Gate library for the gate-level netlist substrate.
+
+The library is intentionally small -- it mirrors the kind of standard-cell
+subset a 1990s ASIC flow (the paper used COMPASS with a 0.8-micron CMOS
+library) would map a two-level controller and a bit-sliced datapath onto:
+
+* combinational: ``AND OR NAND NOR NOT XOR XNOR BUF MUX2 CONST0 CONST1``
+* sequential:    ``DFF`` (plain flip-flop) and ``DFFE`` (enable-gated
+  flip-flop used for datapath registers with gated clocks)
+
+``MUX2`` input order is ``(sel, a, b)`` and computes ``b if sel else a``.
+``DFFE`` input order is ``(en, d)`` and loads ``d`` only when ``en`` is 1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GateType(enum.Enum):
+    """Enumeration of supported gate types."""
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    NOT = "NOT"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    BUF = "BUF"
+    MUX2 = "MUX2"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    DFF = "DFF"
+    DFFE = "DFFE"
+
+
+#: Gate types that accept a variable number of inputs (>= 2).
+VARIADIC_TYPES = frozenset(
+    {GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.XOR, GateType.XNOR}
+)
+
+#: Fixed arity for the non-variadic types.
+FIXED_ARITY = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.MUX2: 3,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.DFF: 1,
+    GateType.DFFE: 2,
+}
+
+#: Gate types whose output is state (updated on the clock edge).
+SEQUENTIAL_TYPES = frozenset({GateType.DFF, GateType.DFFE})
+
+#: Gate types that drive constants.
+CONST_TYPES = frozenset({GateType.CONST0, GateType.CONST1})
+
+
+def valid_arity(gate_type: GateType, n_inputs: int) -> bool:
+    """Return True if ``n_inputs`` is a legal input count for ``gate_type``."""
+    if gate_type in VARIADIC_TYPES:
+        return n_inputs >= 2
+    return n_inputs == FIXED_ARITY[gate_type]
+
+
+def is_sequential(gate_type: GateType) -> bool:
+    """Return True for flip-flop gate types."""
+    return gate_type in SEQUENTIAL_TYPES
+
+
+def is_constant(gate_type: GateType) -> bool:
+    """Return True for constant-driver gate types."""
+    return gate_type in CONST_TYPES
+
+
+def eval_gate_ints(gate_type: GateType, inputs: list[int]) -> int:
+    """Evaluate a combinational gate on plain 0/1 integers.
+
+    Used by tests and by the slow reference simulator; the production
+    simulator works on packed 3-valued bit-planes instead.
+    """
+    t = GateType(gate_type)
+    if t is GateType.AND:
+        return int(all(inputs))
+    if t is GateType.OR:
+        return int(any(inputs))
+    if t is GateType.NAND:
+        return int(not all(inputs))
+    if t is GateType.NOR:
+        return int(not any(inputs))
+    if t is GateType.NOT:
+        return 1 - inputs[0]
+    if t is GateType.BUF:
+        return inputs[0]
+    if t is GateType.XOR:
+        return sum(inputs) % 2
+    if t is GateType.XNOR:
+        return 1 - (sum(inputs) % 2)
+    if t is GateType.MUX2:
+        sel, a, b = inputs
+        return b if sel else a
+    if t is GateType.CONST0:
+        return 0
+    if t is GateType.CONST1:
+        return 1
+    raise ValueError(f"{t} is not combinational")

@@ -1,0 +1,185 @@
+"""Flat gate-level netlist data structure.
+
+A :class:`Netlist` is a directed graph of single-output gates connected by
+named nets.  It is deliberately flat (no hierarchy) -- hierarchy is handled
+at construction time by :class:`repro.netlist.builder.NetlistBuilder`, which
+can instantiate one netlist inside another with prefixed names.
+
+Conventions
+-----------
+* Every net has exactly one driver: either a gate output or a primary input.
+* Primary outputs are nets (a net may be both internal and observed).
+* Each gate carries a free-form ``tag`` string used to partition the design
+  (e.g. ``"ctrl"`` for controller gates, ``"dp:REG3"`` for a datapath
+  register slice); fault universes and power breakdowns select on tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gates import GateType, is_constant, is_sequential, valid_arity
+
+
+@dataclass
+class Gate:
+    """One gate instance.
+
+    Attributes:
+        index: position in ``Netlist.gates`` (stable identifier).
+        gtype: the :class:`GateType`.
+        output: net id driven by this gate.
+        inputs: net ids read by this gate, in pin order.
+        name: instance name (unique within the netlist).
+        tag: free-form partition label.
+    """
+
+    index: int
+    gtype: GateType
+    output: int
+    inputs: list[int]
+    name: str
+    tag: str = ""
+
+
+class NetlistError(ValueError):
+    """Raised for structural netlist violations."""
+
+
+@dataclass
+class Netlist:
+    """A flat, single-driver, single-clock gate-level netlist."""
+
+    name: str = "top"
+    net_names: list[str] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+    inputs: list[int] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    _net_index: dict[str, int] = field(default_factory=dict, repr=False)
+    _driver: dict[int, int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ nets
+    def add_net(self, name: str) -> int:
+        """Create a new net and return its id.  Names must be unique."""
+        if name in self._net_index:
+            raise NetlistError(f"duplicate net name {name!r}")
+        nid = len(self.net_names)
+        self.net_names.append(name)
+        self._net_index[name] = nid
+        return nid
+
+    def net_id(self, name: str) -> int:
+        """Return the id of the net called ``name``."""
+        try:
+            return self._net_index[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    def has_net(self, name: str) -> bool:
+        """Return True if a net with this name exists."""
+        return name in self._net_index
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+    # ----------------------------------------------------------------- gates
+    def add_gate(
+        self,
+        gtype: GateType,
+        output: int,
+        inputs: list[int],
+        name: str | None = None,
+        tag: str = "",
+    ) -> Gate:
+        """Attach a gate driving ``output`` from ``inputs``."""
+        gtype = GateType(gtype)
+        if not valid_arity(gtype, len(inputs)):
+            raise NetlistError(f"{gtype.value} gate cannot take {len(inputs)} inputs")
+        if output in self._driver:
+            raise NetlistError(f"net {self.net_names[output]!r} already driven")
+        for nid in [output, *inputs]:
+            if not 0 <= nid < self.num_nets:
+                raise NetlistError(f"net id {nid} out of range")
+        gate = Gate(
+            index=len(self.gates),
+            gtype=gtype,
+            output=output,
+            inputs=list(inputs),
+            name=name or f"g{len(self.gates)}",
+            tag=tag,
+        )
+        self.gates.append(gate)
+        self._driver[output] = gate.index
+        return gate
+
+    def driver_of(self, net: int) -> Gate | None:
+        """Return the gate driving ``net``, or None for primary inputs."""
+        idx = self._driver.get(net)
+        return None if idx is None else self.gates[idx]
+
+    # ----------------------------------------------------------------- ports
+    def mark_input(self, net: int) -> None:
+        """Declare ``net`` as a primary input."""
+        if net in self._driver:
+            raise NetlistError(f"net {self.net_names[net]!r} is gate-driven, cannot be an input")
+        if net not in self.inputs:
+            self.inputs.append(net)
+
+    def mark_output(self, net: int) -> None:
+        """Declare ``net`` as a primary output (observed)."""
+        if net not in self.outputs:
+            self.outputs.append(net)
+
+    # ------------------------------------------------------------- structure
+    def fanout_map(self) -> dict[int, list[tuple[int, int]]]:
+        """Map net id -> list of (gate index, pin index) readers."""
+        fanout: dict[int, list[tuple[int, int]]] = {n: [] for n in range(self.num_nets)}
+        for gate in self.gates:
+            for pin, nid in enumerate(gate.inputs):
+                fanout[nid].append((gate.index, pin))
+        return fanout
+
+    def gates_with_tag(self, prefix: str) -> list[Gate]:
+        """Return gates whose tag equals or starts with ``prefix``."""
+        return [g for g in self.gates if g.tag == prefix or g.tag.startswith(prefix)]
+
+    def validate(self) -> None:
+        """Check the single-driver/no-floating-net invariants.
+
+        Raises:
+            NetlistError: describing the first violation found.
+        """
+        driven = set(self._driver)
+        pi = set(self.inputs)
+        if driven & pi:
+            bad = next(iter(driven & pi))
+            raise NetlistError(f"net {self.net_names[bad]!r} is both input and gate-driven")
+        read: set[int] = set()
+        for gate in self.gates:
+            read.update(gate.inputs)
+        observed = read | set(self.outputs)
+        floating = observed - driven - pi
+        if floating:
+            names = sorted(self.net_names[n] for n in floating)
+            raise NetlistError(f"floating nets (no driver): {names[:8]}")
+
+    def stats(self) -> dict[str, int]:
+        """Return simple size statistics (gate counts by type)."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.gtype.value] = counts.get(gate.gtype.value, 0) + 1
+        counts["nets"] = self.num_nets
+        counts["gates"] = len(self.gates)
+        counts["inputs"] = len(self.inputs)
+        counts["outputs"] = len(self.outputs)
+        return counts
+
+    # ------------------------------------------------------------ partitions
+    def sequential_gates(self) -> list[Gate]:
+        """Return all flip-flop gates."""
+        return [g for g in self.gates if is_sequential(g.gtype)]
+
+    def combinational_gates(self) -> list[Gate]:
+        """Return all non-flip-flop, non-constant gates."""
+        return [g for g in self.gates if not is_sequential(g.gtype) and not is_constant(g.gtype)]

@@ -1,0 +1,55 @@
+"""Netlist statistics: sizes, depth, fanout distribution, tag breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.levelize import levelize
+from .netlist import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Structural summary of a netlist."""
+
+    name: str
+    gates: int
+    nets: int
+    inputs: int
+    outputs: int
+    flip_flops: int
+    depth: int
+    by_type: dict[str, int] = field(default_factory=dict)
+    by_tag: dict[str, int] = field(default_factory=dict)
+    max_fanout: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.gates} gates / {self.nets} nets, "
+            f"{self.flip_flops} FFs, depth {self.depth}, "
+            f"max fanout {self.max_fanout}"
+        )
+
+
+def analyze(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for ``netlist``."""
+    by_type: dict[str, int] = {}
+    by_tag: dict[str, int] = {}
+    for g in netlist.gates:
+        by_type[g.gtype.value] = by_type.get(g.gtype.value, 0) + 1
+        key = g.tag or "(untagged)"
+        by_tag[key] = by_tag.get(key, 0) + 1
+    fanout = netlist.fanout_map()
+    max_fanout = max((len(readers) for readers in fanout.values()), default=0)
+    return NetlistStats(
+        name=netlist.name,
+        gates=len(netlist.gates),
+        nets=netlist.num_nets,
+        inputs=len(netlist.inputs),
+        outputs=len(netlist.outputs),
+        flip_flops=len(netlist.sequential_gates()),
+        depth=len(levelize(netlist)),
+        by_type=dict(sorted(by_type.items())),
+        by_tag=dict(sorted(by_tag.items())),
+        max_fanout=max_fanout,
+    )

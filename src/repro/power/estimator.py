@@ -1,0 +1,115 @@
+"""Toggle counts -> average dynamic power.
+
+``PowerEstimator`` precomputes the switched capacitance of every net of a
+netlist once, then converts a simulator's accumulated toggle counters (and
+register load-event counters) into microwatts, optionally restricted to a
+tag prefix (the paper reports power for the *datapath*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+from ..logic.simulator import CycleSimulator
+from .library import DEFAULT_LIBRARY, PowerLibrary
+
+
+@dataclass
+class PowerResult:
+    """Average power over a simulation window."""
+
+    total_uw: float
+    switching_uw: float
+    clock_uw: float
+    by_tag: dict[str, float]
+    cycles: int
+    patterns: int
+
+    def __str__(self) -> str:
+        return f"{self.total_uw:.2f} uW ({self.switching_uw:.2f} switching + {self.clock_uw:.2f} clock)"
+
+
+class PowerEstimator:
+    """Per-netlist capacitance model + power computation."""
+
+    def __init__(self, netlist: Netlist, library: PowerLibrary | None = None):
+        self.netlist = netlist
+        self.library = library or DEFAULT_LIBRARY
+        lib = self.library
+        n = netlist.num_nets
+        self.net_cap_ff = np.zeros(n)
+        self.net_tag = [""] * n
+        fanout = netlist.fanout_map()
+        for net in range(n):
+            driver = netlist.driver_of(net)
+            cap = lib.output_cap[driver.gtype] if driver else 0.0
+            for gate_idx, _pin in fanout[net]:
+                reader = netlist.gates[gate_idx]
+                cap += lib.input_cap[reader.gtype] + lib.wire_cap
+            self.net_cap_ff[net] = cap
+            if driver is not None:
+                self.net_tag[net] = driver.tag
+        # Register bookkeeping for clock energy.
+        self.dffe_gates = [g for g in netlist.gates if g.gtype is GateType.DFFE]
+        self.n_dff = sum(1 for g in netlist.gates if g.gtype is GateType.DFF)
+        self.dff_tags = [g.tag for g in netlist.gates if g.gtype is GateType.DFF]
+
+    def _tag_selected(self, tag: str, prefix: str | None) -> bool:
+        return prefix is None or tag.startswith(prefix)
+
+    def power(self, sim: CycleSimulator, tag_prefix: str | None = None) -> PowerResult:
+        """Average power from a finished simulation run.
+
+        Args:
+            sim: simulator built with ``count_toggles=True`` after running.
+            tag_prefix: restrict to nets/registers driven by gates whose tag
+                starts with this prefix (e.g. ``"dp"`` for datapath power).
+        """
+        if not sim.count_toggles:
+            raise ValueError("simulator was not counting toggles")
+        lib = self.library
+        cycles = sim.cycles_run
+        patterns = sim.n_patterns
+        if cycles == 0:
+            raise ValueError("no cycles simulated")
+        denom = cycles * patterns
+        e_ff = lib.energy_per_ff()
+
+        sel = np.array(
+            [self._tag_selected(t, tag_prefix) for t in self.net_tag], dtype=bool
+        )
+        sw_energy_ff = float((sim.toggles * self.net_cap_ff * sel).sum())
+
+        clk_energy_ff = 0.0
+        by_tag_ff: dict[str, float] = {}
+        per_net_ff = sim.toggles * self.net_cap_ff
+        for net in np.nonzero(sim.toggles)[0]:
+            tag = self.net_tag[net] or "(untagged)"
+            if self._tag_selected(tag, tag_prefix):
+                by_tag_ff[tag] = by_tag_ff.get(tag, 0.0) + float(per_net_ff[net])
+        for row, gate in enumerate(self.dffe_gates):
+            if self._tag_selected(gate.tag, tag_prefix):
+                e = float(sim.load_events[row]) * lib.dffe_clock_cap
+                clk_energy_ff += e
+                key = gate.tag or "(untagged)"
+                by_tag_ff[key] = by_tag_ff.get(key, 0.0) + e
+        for tag in self.dff_tags:
+            if self._tag_selected(tag, tag_prefix):
+                e = denom * lib.dff_clock_cap
+                clk_energy_ff += e
+                key = tag or "(untagged)"
+                by_tag_ff[key] = by_tag_ff.get(key, 0.0) + e
+
+        to_uw = e_ff * lib.f_clk / denom * 1e6
+        return PowerResult(
+            total_uw=(sw_energy_ff + clk_energy_ff) * to_uw,
+            switching_uw=sw_energy_ff * to_uw,
+            clock_uw=clk_energy_ff * to_uw,
+            by_tag={k: v * to_uw for k, v in sorted(by_tag_ff.items())},
+            cycles=cycles,
+            patterns=patterns,
+        )

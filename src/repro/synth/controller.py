@@ -1,0 +1,249 @@
+"""FSM -> gate-level controller synthesis.
+
+The synthesized controller is a self-contained netlist:
+
+* primary inputs: ``reset`` plus the FSM's status inputs;
+* a bank of D flip-flops holding the encoded state;
+* two-level (minimised SOP) next-state and Moore output logic;
+* a synchronous-reset MUX2 per state bit (reset has priority and, being a
+  known value, recovers the machine from the all-X power-up state in
+  three-valued simulation exactly as a real reset recovers real silicon).
+
+The fault universe of the paper ("faults within the controller") is the set
+of collapsed stuck-at faults on the gates this module creates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.builder import NetlistBuilder
+from ..netlist.netlist import Netlist
+from .cubes import Cube
+from .encoding import Encoding, encode
+from .fsm import FSM
+from .mapper import map_sop
+from .qm import EXACT_LIMIT, cleanup_cover, minimize_exact
+
+RESET_NET = "reset"
+
+
+@dataclass
+class SynthesizedController:
+    """A gate-level controller plus its symbolic provenance."""
+
+    netlist: Netlist
+    fsm: FSM
+    encoding: Encoding
+    input_nets: dict[str, int]
+    output_nets: dict[str, int]
+    state_nets: list[int]
+
+    @property
+    def reset_net(self) -> int:
+        return self.input_nets[RESET_NET]
+
+    def fault_gates(self):
+        """Gates comprising the controller (the fault universe)."""
+        return list(self.netlist.gates)
+
+
+def _state_cube(encoding: Encoding, state: str, n_vars: int) -> Cube:
+    """Cube asserting the state code on variables [0, n_bits)."""
+    code = encoding.codes[state]
+    n_bits = encoding.n_bits
+    care = (1 << n_bits) - 1
+    return Cube(code & care, care)
+
+
+def _with_guard(base: Cube, guard, input_index: dict[str, int]) -> Cube:
+    value, care = base.value, base.care
+    for name, val in guard:
+        bit = 1 << input_index[name]
+        care |= bit
+        if val:
+            value |= bit
+    return Cube(value, care)
+
+
+def build_covers(fsm: FSM, encoding: Encoding, output_mode: str = "pla"):
+    """Return (next-state covers, output covers) over the variable order
+    ``state bits (LSB first) ++ fsm inputs``.
+
+    ``output_mode`` controls how hard the Moore output covers are
+    minimised: ``"pla"`` keeps one cube per asserting state, merged only
+    where distance-1 merging is exact (an espresso-lite result typical of
+    1990s FSM synthesis -- the structure whose stuck-at faults reproduce
+    the paper's select-line phenomenology); ``"minimized"`` runs the full
+    Quine-McCluskey don't-care fill.  Next-state logic is always fully
+    minimised."""
+    n_bits = encoding.n_bits
+    n_vars = n_bits + len(fsm.input_names)
+    input_index = {name: n_bits + i for i, name in enumerate(fsm.input_names)}
+
+    ns_seed: dict[str, list[Cube]] = {f"ns{j}": [] for j in range(n_bits)}
+    for t in fsm.transitions:
+        dst_code = encoding.codes[t.dst]
+        base = _state_cube(encoding, t.src, n_vars)
+        cube = _with_guard(base, t.guard, input_index)
+        for j in range(n_bits):
+            if (dst_code >> j) & 1:
+                ns_seed[f"ns{j}"].append(cube)
+
+    out_seed: dict[str, list[Cube]] = {o: [] for o in fsm.output_names}
+    for s in fsm.states:
+        cube = _state_cube(encoding, s, n_vars)
+        for o, val in fsm.outputs[s].items():
+            if val == 1:
+                out_seed[o].append(cube)
+
+    # Minterm enumeration for exact minimisation.
+    if n_vars <= EXACT_LIMIT:
+        code_to_state = {encoding.codes[s]: s for s in fsm.states}
+        state_mask = (1 << n_bits) - 1
+        onsets: dict[str, set[int]] = {k: set() for k in list(ns_seed) + list(out_seed)}
+        dcs: dict[str, set[int]] = {k: set() for k in onsets}
+        for m in range(1 << n_vars):
+            state = code_to_state.get(m & state_mask)
+            if state is None:
+                for k in onsets:
+                    dcs[k].add(m)
+                continue
+            assign = {
+                name: (m >> input_index[name]) & 1 for name in fsm.input_names
+            }
+            nxt = fsm.next_state(state, assign)
+            nxt_code = encoding.codes[nxt]
+            for j in range(n_bits):
+                if (nxt_code >> j) & 1:
+                    onsets[f"ns{j}"].add(m)
+            for o, val in fsm.outputs[state].items():
+                if val == 1:
+                    onsets[o].add(m)
+                elif val is None:
+                    dcs[o].add(m)
+        ns_covers = {k: minimize_exact(n_vars, onsets[k], dcs[k]) for k in ns_seed}
+        if output_mode == "minimized":
+            out_covers = {k: minimize_exact(n_vars, onsets[k], dcs[k]) for k in out_seed}
+        else:
+            out_covers = {k: cleanup_cover(v, onsets[k], dcs[k]) for k, v in out_seed.items()}
+    else:
+        # Heuristic path (one-hot encodings of big machines).
+        ns_covers = {k: cleanup_cover(v, set(), set()) for k, v in ns_seed.items()}
+        out_covers = {k: cleanup_cover(v, set(), set()) for k, v in out_seed.items()}
+    return ns_covers, out_covers
+
+
+def _map_decoded_outputs(
+    b: NetlistBuilder,
+    fsm: FSM,
+    encoding: Encoding,
+    state_nets: list[int],
+    output_nets: dict[str, int],
+    max_fanin: int,
+    tag: str,
+) -> None:
+    """State-decoded Moore outputs: one shared decoder AND per state, one
+    OR per control line.  Don't-care outputs synthesize to 0.  This is the
+    per-state output plane a 1990s FSM synthesizer typically emitted."""
+    from .mapper import _tree
+
+    inverters = [
+        b.not_(net, name=f"sdec_inv{j}", tag=tag) for j, net in enumerate(state_nets)
+    ]
+    decode: dict[str, int] = {}
+    for s in fsm.states:
+        bits = encoding.code_bits(s)
+        lits = [state_nets[j] if bit else inverters[j] for j, bit in enumerate(bits)]
+        decode[s] = _tree(b, b.and_, lits, max_fanin, None, tag) if len(lits) > max_fanin else b.and_(
+            lits, name=f"dec_{s}", tag=tag
+        )
+    for o in fsm.output_names:
+        terms = [decode[s] for s in fsm.states if fsm.outputs[s][o] == 1]
+        out = output_nets[o]
+        if not terms:
+            b.const0(output=out, tag=tag)
+        elif len(terms) == 1:
+            b.buf_(terms[0], output=out, tag=tag)
+        else:
+            _tree(b, b.or_, terms, max_fanin, out, tag)
+
+
+def synthesize_controller(
+    fsm: FSM,
+    encoding_kind: str = "binary",
+    max_fanin: int = 4,
+    tag: str = "ctrl",
+    output_style: str = "pla",
+) -> SynthesizedController:
+    """Synthesize ``fsm`` into a gate-level controller netlist.
+
+    ``output_style`` selects how Moore outputs are implemented:
+
+    * ``"pla"`` (default) -- per-output two-level logic from one cube per
+      asserting state, with only exact distance-1 merging.  Faults stay
+      local to one control line and cube-widening faults can flip a select
+      line in don't-care states only -- the structure behind the paper's
+      select-only SFR population.
+    * ``"decoded"`` -- a shared state decoder plus one OR per control
+      line (don't-cares fall to 0; decoder faults touch many lines).
+    * ``"minimized"`` -- full Quine-McCluskey don't-care fill per output.
+
+    Next-state logic is always minimised.
+    """
+    fsm.validate()
+    if output_style not in ("pla", "decoded", "minimized"):
+        raise ValueError(f"unknown output_style {output_style!r}")
+    encoding = encode(fsm, encoding_kind)
+    n_bits = encoding.n_bits
+
+    b = NetlistBuilder(name=f"{fsm.name}_ctrl")
+    b.default_tag = tag
+    reset = b.input(RESET_NET)
+    input_nets = {RESET_NET: reset}
+    for name in fsm.input_names:
+        input_nets[name] = b.input(name)
+
+    state_nets = b.bus("state", n_bits)
+    var_nets = state_nets + [input_nets[name] for name in fsm.input_names]
+
+    output_mode = "minimized" if output_style == "minimized" else "pla"
+    ns_covers, out_covers = build_covers(fsm, encoding, output_mode=output_mode)
+
+    ns_raw = b.bus("ns_raw", n_bits)
+    map_sop(b, var_nets, ns_covers, {f"ns{j}": ns_raw[j] for j in range(n_bits)},
+            max_fanin=max_fanin, tag=tag)
+
+    output_nets = {o: b.net(o) for o in fsm.output_names}
+    if output_style == "decoded":
+        _map_decoded_outputs(b, fsm, encoding, state_nets, output_nets, max_fanin, tag)
+    else:
+        map_sop(b, var_nets, out_covers, output_nets, max_fanin=max_fanin, tag=tag)
+
+    # Synchronous reset: next = reset ? reset_code : ns_raw.
+    reset_code = encoding.codes[fsm.reset_state]
+    const0 = const1 = None
+    for j in range(n_bits):
+        if (reset_code >> j) & 1:
+            if const1 is None:
+                const1 = b.const1(tag=tag)
+            forced = const1
+        else:
+            if const0 is None:
+                const0 = b.const0(tag=tag)
+            forced = const0
+        ns = b.mux2_(reset, ns_raw[j], forced, name=f"rstmux{j}", tag=tag)
+        b.dff(ns, output=state_nets[j], name=f"state_ff{j}", tag=tag)
+
+    for o in fsm.output_names:
+        b.output(output_nets[o])
+
+    netlist = b.done()
+    return SynthesizedController(
+        netlist=netlist,
+        fsm=fsm,
+        encoding=encoding,
+        input_nets=input_nets,
+        output_nets=output_nets,
+        state_nets=state_nets,
+    )

@@ -1,0 +1,138 @@
+"""Cube algebra for two-level logic.
+
+A *cube* over ``n`` ordered binary variables is a product term.  It is
+stored as two bit masks: ``care`` has a bit set for every variable that
+appears as a literal, and ``value`` holds the polarity of those literals
+(``value`` is always a subset of ``care``).  A cube with ``care == 0`` is
+the universal cube (tautology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Cube:
+    """Product term over ``n`` variables as (value, care) masks."""
+
+    value: int
+    care: int
+
+    def __post_init__(self):
+        if self.value & ~self.care:
+            raise ValueError("cube value bits must lie within care bits")
+
+    @classmethod
+    def from_string(cls, s: str) -> "Cube":
+        """Parse a PLA-style cube string, e.g. ``"1-0"`` (var 0 leftmost)."""
+        value = care = 0
+        for i, ch in enumerate(s):
+            if ch == "1":
+                value |= 1 << i
+                care |= 1 << i
+            elif ch == "0":
+                care |= 1 << i
+            elif ch != "-":
+                raise ValueError(f"bad cube character {ch!r}")
+        return cls(value, care)
+
+    def to_string(self, n: int) -> str:
+        """Render as a PLA-style string of length ``n``."""
+        out = []
+        for i in range(n):
+            if not (self.care >> i) & 1:
+                out.append("-")
+            else:
+                out.append("1" if (self.value >> i) & 1 else "0")
+        return "".join(out)
+
+    def contains_minterm(self, m: int) -> bool:
+        """True if the minterm ``m`` lies inside this cube."""
+        return (m & self.care) == self.value
+
+    def covers(self, other: "Cube") -> bool:
+        """True if this cube contains every minterm of ``other``."""
+        if self.care & ~other.care:
+            return False
+        return (other.value & self.care) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the cubes share at least one minterm."""
+        common = self.care & other.care
+        return (self.value & common) == (other.value & common)
+
+    def literals(self, n: int) -> list[tuple[int, int]]:
+        """List of (variable index, polarity) literals."""
+        return [(i, (self.value >> i) & 1) for i in range(n) if (self.care >> i) & 1]
+
+    def num_literals(self) -> int:
+        return bin(self.care).count("1")
+
+    def minterms(self, n: int):
+        """Yield all minterms of this cube over ``n`` variables (small n)."""
+        free = [i for i in range(n) if not (self.care >> i) & 1]
+        for k in range(1 << len(free)):
+            m = self.value
+            for j, var in enumerate(free):
+                if (k >> j) & 1:
+                    m |= 1 << var
+            yield m
+
+
+def try_merge(a: Cube, b: Cube) -> Cube | None:
+    """Distance-1 merge: same care set, values differing in exactly one bit."""
+    if a.care != b.care:
+        return None
+    diff = a.value ^ b.value
+    if diff == 0 or diff & (diff - 1):
+        return None
+    return Cube(a.value & ~diff, a.care & ~diff)
+
+
+def cover_eval(cover: list[Cube], m: int) -> bool:
+    """Evaluate an SOP cover on a minterm."""
+    return any(c.contains_minterm(m) for c in cover)
+
+
+def cover_minterms(cover: list[Cube], n: int) -> set[int]:
+    """All minterms covered (small n only)."""
+    out: set[int] = set()
+    for c in cover:
+        out.update(c.minterms(n))
+    return out
+
+
+def remove_contained(cover: list[Cube]) -> list[Cube]:
+    """Drop cubes single-cube-contained in another cube of the cover."""
+    kept: list[Cube] = []
+    for i, c in enumerate(cover):
+        if any(j != i and other.covers(c) for j, other in enumerate(cover)):
+            # Keep the first of two identical cubes.
+            if any(other == c for other in cover[:i]):
+                continue
+            if any(j != i and other != c and other.covers(c) for j, other in enumerate(cover)):
+                continue
+        kept.append(c)
+    return kept
+
+
+def irredundant(cover: list[Cube], onset: set[int], dcset: set[int]) -> list[Cube]:
+    """Greedy irredundant cover: drop cubes whose onset minterms are covered
+    by the rest (don't-cares need no cover)."""
+    cover = list(cover)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(cover)):
+            rest = cover[:i] + cover[i + 1 :]
+            needed = False
+            for m in onset:
+                if cover[i].contains_minterm(m) and not cover_eval(rest, m):
+                    needed = True
+                    break
+            if not needed:
+                cover = rest
+                changed = True
+                break
+    return cover

@@ -1,0 +1,62 @@
+"""State encodings for FSM synthesis.
+
+Three schemes are provided.  The paper's controllers came out of the
+COMPASS FSM synthesizer (most likely minimum-length binary); the encoding
+choice changes the gate structure and hence the stuck-at fault universe,
+which bench ``bench_encoding`` sweeps as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fsm import FSM, FSMError
+
+
+@dataclass
+class Encoding:
+    """Assignment of binary codes to FSM states."""
+
+    kind: str
+    n_bits: int
+    codes: dict[str, int]
+
+    def state_of(self, code: int) -> str | None:
+        """Reverse lookup; None for invalid codes."""
+        for s, c in self.codes.items():
+            if c == code:
+                return s
+        return None
+
+    def code_bits(self, state: str) -> list[int]:
+        """LSB-first bit list for a state's code."""
+        code = self.codes[state]
+        return [(code >> i) & 1 for i in range(self.n_bits)]
+
+
+def _gray(i: int) -> int:
+    return i ^ (i >> 1)
+
+
+def encode(fsm: FSM, kind: str = "binary") -> Encoding:
+    """Produce an :class:`Encoding` for ``fsm``.
+
+    ``binary`` numbers states in declaration order; ``gray`` uses the
+    reflected Gray sequence so consecutive control steps differ in one bit;
+    ``onehot`` allocates one flip-flop per state.
+    """
+    n = len(fsm.states)
+    if n == 0:
+        raise FSMError("cannot encode an empty FSM")
+    if kind == "binary":
+        bits = max(1, (n - 1).bit_length())
+        codes = {s: i for i, s in enumerate(fsm.states)}
+    elif kind == "gray":
+        bits = max(1, (n - 1).bit_length())
+        codes = {s: _gray(i) for i, s in enumerate(fsm.states)}
+    elif kind == "onehot":
+        bits = n
+        codes = {s: 1 << i for i, s in enumerate(fsm.states)}
+    else:
+        raise ValueError(f"unknown encoding kind {kind!r}")
+    return Encoding(kind=kind, n_bits=bits, codes=codes)

@@ -1,0 +1,119 @@
+"""Symbolic Moore finite state machine model.
+
+The controller emitted by high-level synthesis is a Moore machine: one
+state per control step (plus RESET and HOLD), outputs = the control word
+(register load lines and multiplexer select lines), transitions guarded by
+primary-status inputs (``start``, and the loop condition bit fed back from
+the datapath comparator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Guarded edge: taken in ``src`` when every literal in ``guard``
+    matches the current inputs (empty guard = unconditional)."""
+
+    src: str
+    guard: tuple[tuple[str, int], ...]
+    dst: str
+
+    def matches(self, assignment: dict[str, int]) -> bool:
+        return all(assignment[name] == val for name, val in self.guard)
+
+
+class FSMError(ValueError):
+    """Raised for ill-formed machines."""
+
+
+@dataclass
+class FSM:
+    """A deterministic, complete Moore machine."""
+
+    name: str
+    input_names: list[str]
+    output_names: list[str]
+    states: list[str]
+    reset_state: str
+    outputs: dict[str, dict[str, int | None]] = field(default_factory=dict)
+    transitions: list[Transition] = field(default_factory=list)
+
+    def add_state(self, name: str, outputs: dict[str, int | None]) -> None:
+        """Register a state with its Moore output assignment.
+
+        Missing output names default to don't-care (None)."""
+        if name in self.outputs:
+            raise FSMError(f"duplicate state {name!r}")
+        unknown = set(outputs) - set(self.output_names)
+        if unknown:
+            raise FSMError(f"unknown outputs {sorted(unknown)} in state {name!r}")
+        if name not in self.states:
+            self.states.append(name)
+        full = {o: None for o in self.output_names}
+        full.update(outputs)
+        self.outputs[name] = full
+
+    def add_transition(self, src: str, dst: str, guard: dict[str, int] | None = None) -> None:
+        guard = guard or {}
+        unknown = set(guard) - set(self.input_names)
+        if unknown:
+            raise FSMError(f"unknown inputs {sorted(unknown)} in guard from {src!r}")
+        self.transitions.append(Transition(src, tuple(sorted(guard.items())), dst))
+
+    # ------------------------------------------------------------ validation
+    def _input_space(self):
+        for combo in itertools.product((0, 1), repeat=len(self.input_names)):
+            yield dict(zip(self.input_names, combo))
+
+    def validate(self) -> None:
+        """Check every state has exactly one transition per input combo."""
+        if self.reset_state not in self.states:
+            raise FSMError(f"reset state {self.reset_state!r} not defined")
+        for s in self.states:
+            if s not in self.outputs:
+                raise FSMError(f"state {s!r} has no output assignment")
+            edges = [t for t in self.transitions if t.src == s]
+            for assign in self._input_space():
+                hits = [t for t in edges if t.matches(assign)]
+                if len(hits) == 0:
+                    raise FSMError(f"state {s!r} has no transition for {assign}")
+                if len({t.dst for t in hits}) > 1:
+                    raise FSMError(f"state {s!r} nondeterministic for {assign}")
+
+    # ------------------------------------------------------------- semantics
+    def next_state(self, state: str, assignment: dict[str, int]) -> str:
+        for t in self.transitions:
+            if t.src == state and t.matches(assignment):
+                return t.dst
+        raise FSMError(f"no transition from {state!r} under {assignment}")
+
+    def output_vector(self, state: str) -> dict[str, int | None]:
+        return dict(self.outputs[state])
+
+    def simulate(self, input_seq: list[dict[str, int]]) -> list[tuple[str, dict[str, int | None]]]:
+        """Run from reset; returns [(state, outputs)] including the initial
+        state, one entry per input vector consumed."""
+        trace = []
+        state = self.reset_state
+        for assign in input_seq:
+            trace.append((state, self.output_vector(state)))
+            state = self.next_state(state, assign)
+        trace.append((state, self.output_vector(state)))
+        return trace
+
+    def reachable_states(self) -> set[str]:
+        """States reachable from reset under some input sequence."""
+        seen = {self.reset_state}
+        frontier = [self.reset_state]
+        while frontier:
+            s = frontier.pop()
+            for assign in self._input_space():
+                nxt = self.next_state(s, assign)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen

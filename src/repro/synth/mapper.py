@@ -1,0 +1,97 @@
+"""Technology mapping of two-level covers onto the gate library.
+
+Maps a set of single-output SOP covers that share one ordered input
+variable list onto NOT/AND/OR gates with bounded fan-in:
+
+* one shared inverter per complemented variable;
+* one AND per multi-literal cube (decomposed into a tree above
+  ``max_fanin``);
+* one OR per multi-cube cover, likewise decomposed;
+* constants and single-literal covers get explicit CONST/BUF drivers so
+  that every declared output net has a driving gate (and hence fault
+  sites), as a real standard-cell netlist would.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import NetlistBuilder
+from .cubes import Cube
+
+
+def _tree(builder: NetlistBuilder, op, nets: list[int], max_fanin: int, out, tag: str):
+    """Reduce ``nets`` with ``op`` gates of bounded fan-in; the final gate
+    drives ``out`` when given."""
+    level = list(nets)
+    while len(level) > max_fanin:
+        nxt = []
+        for i in range(0, len(level), max_fanin):
+            chunk = level[i : i + max_fanin]
+            if len(chunk) == 1:
+                nxt.append(chunk[0])
+            else:
+                nxt.append(op(chunk, tag=tag))
+        level = nxt
+    if len(level) == 1:
+        if out is None:
+            return level[0]
+        return builder.buf_(level[0], output=out, tag=tag)
+    return op(level, output=out, tag=tag)
+
+
+def map_sop(
+    builder: NetlistBuilder,
+    var_nets: list[int],
+    covers: dict[str, list[Cube]],
+    out_nets: dict[str, int],
+    max_fanin: int = 4,
+    tag: str = "ctrl",
+    share_inverters: bool = False,
+) -> None:
+    """Map every cover onto gates inside ``builder``.
+
+    Args:
+        builder: target netlist builder (gains the gates).
+        var_nets: net ids of the SOP input variables, matching cube bit
+            positions (bit ``i`` of a cube refers to ``var_nets[i]``).
+        covers: output name -> SOP cover.
+        out_nets: output name -> net id to drive.
+        max_fanin: maximum gate fan-in before tree decomposition.
+        tag: tag applied to all created gates.
+        share_inverters: share one inverter per variable across *all*
+            outputs.  The default (False) gives each output cone its own
+            inverters, as a PLA-row / per-output standard-cell mapping
+            would; this keeps stuck-at faults localised to one control
+            line, which is the structure the paper's controllers exhibit.
+    """
+    shared: dict[int, int] = {}
+    inverters: dict[int, int] = shared
+
+    def literal_net(var: int, polarity: int) -> int:
+        if polarity:
+            return var_nets[var]
+        if var not in inverters:
+            inverters[var] = builder.not_(var_nets[var], tag=tag)
+        return inverters[var]
+
+    for name, cover in covers.items():
+        if not share_inverters:
+            inverters = {}
+        out = out_nets[name]
+        if not cover:
+            builder.const0(output=out, tag=tag)
+            continue
+        if any(c.care == 0 for c in cover):
+            builder.const1(output=out, tag=tag)
+            continue
+        cube_nets = []
+        for cube in cover:
+            lits = [literal_net(v, p) for v, p in cube.literals(len(var_nets))]
+            if len(lits) == 1:
+                cube_nets.append(lits[0])
+            else:
+                cube_nets.append(
+                    _tree(builder, builder.and_, lits, max_fanin, None, tag)
+                    if len(lits) > max_fanin
+                    else builder.and_(lits, tag=tag)
+                )
+        _tree(builder, builder.or_, cube_nets, max_fanin, out, tag)

@@ -1,0 +1,140 @@
+"""Two-level minimisation: exact Quine-McCluskey with a heuristic fallback.
+
+``minimize`` is the single entry point.  For input counts the exact method
+can handle (default <= 12 variables) it computes all prime implicants and
+solves the unate covering problem with essential-prime extraction followed
+by a greedy completion.  Above that it falls back to a consensus/absorb
+cleanup of the caller-provided seed cover (used for one-hot controllers,
+where the exact method would enumerate 2^13+ minterms for little gain).
+
+The minimiser fills don't-cares however suits cover size best -- *not* to
+minimise datapath power -- which is exactly the (deliberate) choice the
+paper made for its controllers (Section 6).
+"""
+
+from __future__ import annotations
+
+from .cubes import Cube, cover_eval, irredundant, try_merge
+
+EXACT_LIMIT = 12
+
+
+def prime_implicants(n: int, onset: set[int], dcset: set[int]) -> list[Cube]:
+    """All prime implicants of onset+dc via iterated distance-1 merging."""
+    current = {Cube(m, (1 << n) - 1) for m in (onset | dcset)}
+    primes: set[Cube] = set()
+    while current:
+        merged_from: set[Cube] = set()
+        nxt: set[Cube] = set()
+        by_care: dict[int, list[Cube]] = {}
+        for c in current:
+            by_care.setdefault(c.care, []).append(c)
+        for group in by_care.values():
+            by_ones: dict[int, list[Cube]] = {}
+            for c in group:
+                by_ones.setdefault(bin(c.value).count("1"), []).append(c)
+            for k in sorted(by_ones):
+                for a in by_ones[k]:
+                    for b in by_ones.get(k + 1, ()):
+                        m = try_merge(a, b)
+                        if m is not None:
+                            merged_from.add(a)
+                            merged_from.add(b)
+                            nxt.add(m)
+        primes.update(c for c in current if c not in merged_from)
+        current = nxt
+    return sorted(primes)
+
+
+def _select_cover(primes: list[Cube], onset: set[int]) -> list[Cube]:
+    """Essential primes + greedy completion of the covering problem."""
+    remaining = set(onset)
+    chosen: list[Cube] = []
+    covers_of: dict[int, list[Cube]] = {
+        m: [p for p in primes if p.contains_minterm(m)] for m in onset
+    }
+    # Essential primes.
+    for m, plist in covers_of.items():
+        if len(plist) == 1 and plist[0] not in chosen:
+            chosen.append(plist[0])
+    for c in chosen:
+        remaining = {m for m in remaining if not c.contains_minterm(m)}
+    # Greedy: biggest marginal coverage, ties broken by fewer literals.
+    while remaining:
+        best = max(
+            primes,
+            key=lambda p: (sum(1 for m in remaining if p.contains_minterm(m)), -p.num_literals()),
+        )
+        gain = sum(1 for m in remaining if best.contains_minterm(m))
+        if gain == 0:
+            raise AssertionError("uncoverable minterm -- prime generation bug")
+        chosen.append(best)
+        remaining = {m for m in remaining if not best.contains_minterm(m)}
+    return chosen
+
+
+def minimize_exact(n: int, onset: set[int], dcset: set[int]) -> list[Cube]:
+    """Exact-ish QM: prime implicants + essential/greedy covering."""
+    if not onset:
+        return []
+    full = set(range(1 << n))
+    if onset | dcset == full:
+        return [Cube(0, 0)]
+    primes = prime_implicants(n, onset, dcset)
+    return _select_cover(primes, onset)
+
+
+def cleanup_cover(cover: list[Cube], onset: set[int], dcset: set[int]) -> list[Cube]:
+    """Heuristic minimisation: absorb contained cubes, merge distance-1
+    pairs when the merge stays inside onset+dc, then make irredundant."""
+    cover = list(dict.fromkeys(cover))
+    changed = True
+    while changed:
+        changed = False
+        # Absorption.
+        absorbed = []
+        for i, c in enumerate(cover):
+            if any(j != i and o.covers(c) and o != c for j, o in enumerate(cover)) or c in cover[:i]:
+                continue
+            absorbed.append(c)
+        if len(absorbed) != len(cover):
+            cover = absorbed
+            changed = True
+        # Distance-1 merging (care sets equal).
+        for i in range(len(cover)):
+            for j in range(i + 1, len(cover)):
+                m = try_merge(cover[i], cover[j])
+                if m is not None:
+                    cover = [c for k, c in enumerate(cover) if k not in (i, j)] + [m]
+                    changed = True
+                    break
+            if changed:
+                break
+    # With no onset information (heuristic one-hot path) redundancy cannot
+    # be judged, so keep the absorbed/merged cover as is.
+    return irredundant(cover, onset, dcset) if onset else cover
+
+
+def minimize(
+    n: int,
+    onset: set[int],
+    dcset: set[int],
+    seed_cover: list[Cube] | None = None,
+) -> list[Cube]:
+    """Minimise a single-output function given as onset/dc minterm sets.
+
+    Falls back to :func:`cleanup_cover` on ``seed_cover`` when ``n``
+    exceeds :data:`EXACT_LIMIT` (a seed cover is then required).
+    """
+    if n <= EXACT_LIMIT:
+        return minimize_exact(n, onset, dcset)
+    if seed_cover is None:
+        raise ValueError(f"{n} inputs exceeds exact limit and no seed cover given")
+    return cleanup_cover(seed_cover, onset, dcset)
+
+
+def verify_cover(n: int, cover: list[Cube], onset: set[int], offset: set[int]) -> bool:
+    """Check a cover implements the function: covers onset, avoids offset."""
+    return all(cover_eval(cover, m) for m in onset) and not any(
+        cover_eval(cover, m) for m in offset
+    )

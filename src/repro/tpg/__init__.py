@@ -1,0 +1,1 @@
+"""tpg subpackage."""

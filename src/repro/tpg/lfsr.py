@@ -1,0 +1,89 @@
+"""Linear feedback shift registers for pseudorandom test pattern generation.
+
+The paper drives the datapath data inputs from a TPGR (test pattern
+generation register) and builds three 1200-pattern test sets from different
+seeds, one of them "almost all 0s" to be deliberately less pseudorandom
+(Section 6, Table 3).  This module provides Fibonacci LFSRs over standard
+primitive polynomials so those experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Primitive polynomial taps (XOR positions, 1-based from the output stage)
+#: for common register lengths; taken from the standard tables.
+PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    20: (20, 17),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    31: (31, 28),
+    32: (32, 31, 30, 10),
+}
+
+
+class LFSR:
+    """Fibonacci LFSR with external XOR feedback.
+
+    Args:
+        length: register length in bits.
+        seed: nonzero initial state (bit 0 = stage closest to the output).
+        taps: feedback taps; defaults to a primitive polynomial.
+    """
+
+    def __init__(self, length: int, seed: int = 1, taps: tuple[int, ...] | None = None):
+        if length < 2:
+            raise ValueError("LFSR length must be >= 2")
+        if taps is None:
+            if length not in PRIMITIVE_TAPS:
+                raise ValueError(f"no default primitive polynomial for length {length}")
+            taps = PRIMITIVE_TAPS[length]
+        if any(t < 1 or t > length for t in taps):
+            raise ValueError("tap positions must be in 1..length")
+        self.length = length
+        self.taps = tuple(sorted(set(taps), reverse=True))
+        self.state = seed & ((1 << length) - 1)
+        if self.state == 0:
+            raise ValueError("LFSR seed must be nonzero")
+
+    def step(self) -> int:
+        """Advance one bit; return the bit shifted out (the new LSB)."""
+        fb = 0
+        for t in self.taps:
+            fb ^= (self.state >> (t - 1)) & 1
+        self.state = ((self.state << 1) | fb) & ((1 << self.length) - 1)
+        return fb
+
+    def next_word(self, bits: int) -> int:
+        """Shift out ``bits`` bits and assemble them LSB-first."""
+        word = 0
+        for i in range(bits):
+            word |= self.step() << i
+        return word
+
+    def words(self, count: int, bits: int) -> np.ndarray:
+        """Return ``count`` consecutive ``bits``-wide words as int64."""
+        return np.array([self.next_word(bits) for _ in range(count)], dtype=np.int64)
+
+    def period_check(self, limit: int | None = None) -> int:
+        """Count steps until the state repeats (exhaustive; tests only)."""
+        start = self.state
+        limit = limit if limit is not None else (1 << self.length)
+        for n in range(1, limit + 1):
+            self.step()
+            if self.state == start:
+                return n
+        return -1

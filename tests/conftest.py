@@ -1,0 +1,35 @@
+"""Shared fixtures: built systems and pipeline results are expensive, so
+they are session-scoped and reused across the test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.designs.catalog import build_rtl
+from repro.hls.system import build_system
+
+
+@pytest.fixture(scope="session")
+def diffeq_system():
+    return build_system(build_rtl("diffeq"))
+
+
+@pytest.fixture(scope="session")
+def facet_system():
+    return build_system(build_rtl("facet"))
+
+
+@pytest.fixture(scope="session")
+def poly_system():
+    return build_system(build_rtl("poly"))
+
+
+@pytest.fixture(scope="session")
+def facet_pipeline(facet_system):
+    return run_pipeline(facet_system, PipelineConfig(n_patterns=128))
+
+
+@pytest.fixture(scope="session")
+def diffeq_pipeline(diffeq_system):
+    return run_pipeline(diffeq_system, PipelineConfig(n_patterns=128))

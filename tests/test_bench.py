@@ -1,0 +1,83 @@
+"""Tests for the ISCAS-89 .bench writer/parser."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.netlist import NetlistError
+
+
+def _sample():
+    b = NetlistBuilder("s")
+    a = b.input("a")
+    c = b.input("weird[3]")
+    y = b.nand_([a, c], output=b.net("y"))
+    q = b.dff(y, output=b.net("q"))
+    b.output(q)
+    return b.done()
+
+
+class TestWrite:
+    def test_format_lines(self):
+        text = write_bench(_sample())
+        assert "INPUT(a)" in text
+        assert "OUTPUT(q)" in text
+        assert "= NAND(" in text
+        assert "= DFF(" in text
+
+    def test_names_sanitised(self):
+        text = write_bench(_sample())
+        assert "weird_3_" in text
+        assert "[" not in text.replace("INPUT(", "").replace("OUTPUT(", "")
+
+    def test_collision_suffix(self):
+        b = NetlistBuilder("c")
+        x1 = b.input("n[1]")
+        x2 = b.input("n_1_")
+        y = b.and_([x1, x2])
+        b.output(y)
+        text = write_bench(b.done())
+        # both inputs must appear under distinct names
+        input_lines = [ln for ln in text.splitlines() if ln.startswith("INPUT")]
+        assert len(set(input_lines)) == 2
+
+
+class TestParse:
+    def test_roundtrip_structure(self):
+        nl = _sample()
+        nl2 = parse_bench(write_bench(nl))
+        assert len(nl2.gates) == len(nl.gates)
+        assert len(nl2.inputs) == 2
+        assert len(nl2.outputs) == 1
+
+    def test_parse_classic_fragment(self):
+        src = """
+        # a comment
+        INPUT(G1)
+        INPUT(G2)
+        OUTPUT(G5)
+        G4 = NOT(G1)
+        G5 = AND(G4, G2)
+        """
+        nl = parse_bench(src)
+        assert len(nl.gates) == 2
+
+    def test_buff_alias(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert nl.gates[0].gtype.value == "BUF"
+
+    def test_unknown_function(self):
+        with pytest.raises(NetlistError, match="unknown bench function"):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+    def test_unparseable_line(self):
+        with pytest.raises(NetlistError, match="unparseable"):
+            parse_bench("this is not bench\n")
+
+    def test_mux2_extension(self):
+        nl = parse_bench("INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX2(s, a, b)\n")
+        assert nl.gates[0].gtype.value == "MUX2"
+
+    def test_roundtrip_of_system(self, poly_system):
+        nl2 = parse_bench(write_bench(poly_system.netlist))
+        assert len(nl2.gates) == len(poly_system.netlist.gates)

@@ -1,0 +1,150 @@
+"""Unit tests for binding: registers, FUs, muxes, control table."""
+
+import pytest
+
+from repro.designs.catalog import build_rtl
+from repro.designs.diffeq import diffeq_dfg
+from repro.designs.facet import facet_rtl
+from repro.hls.bind import _left_edge, bind_design
+from repro.hls.dfg import OpKind
+from repro.hls.rtl import HOLD_STATE, RESET_STATE, Source
+from repro.hls.schedule import list_schedule
+
+
+@pytest.fixture(scope="module")
+def diffeq():
+    return build_rtl("diffeq")
+
+
+class TestLeftEdge:
+    def test_disjoint_intervals_share(self):
+        groups = _left_edge({"a": (1, 2), "b": (3, 4)})
+        assert groups == [["a", "b"]]
+
+    def test_overlap_separates(self):
+        groups = _left_edge({"a": (1, 3), "b": (2, 4)})
+        assert len(groups) == 2
+
+    def test_same_step_write_after_read_not_shared(self):
+        # strict rule: last == def may NOT share
+        groups = _left_edge({"a": (1, 2), "b": (2, 3)})
+        assert len(groups) == 2
+
+    def test_no_overlap_invariant(self):
+        intervals = {f"v{i}": (i % 5 + 1, i % 5 + 1 + i % 3) for i in range(12)}
+        groups = _left_edge(intervals)
+        for group in groups:
+            spans = sorted(intervals[v] for v in group)
+            for (d1, l1), (d2, l2) in zip(spans, spans[1:]):
+                assert l1 < d2
+
+
+class TestRegisters:
+    def test_loop_vars_get_dedicated_registers(self, diffeq):
+        for var in ("x", "y", "u"):
+            reg = diffeq.value_reg[var]
+            spec = diffeq.register(reg)
+            assert var in spec.holds
+            kinds = {s.kind for s in spec.input_mux.sources}
+            assert kinds == {"input", "fu"}
+
+    def test_plain_inputs_have_input_source_only(self, diffeq):
+        for var in ("dx", "a"):
+            spec = diffeq.register(diffeq.value_reg[var])
+            assert [s.kind for s in spec.input_mux.sources] == ["input"]
+
+    def test_every_stored_value_has_register(self, diffeq):
+        dfg = diffeq.dfg
+        for op in dfg.ops:
+            if op.name == dfg.loop_condition:
+                assert op.name not in diffeq.value_reg
+            else:
+                assert op.name in diffeq.value_reg
+
+    def test_register_names_sequential(self, diffeq):
+        names = [r.name for r in diffeq.registers]
+        assert names == [f"REG{i + 1}" for i in range(len(names))]
+
+
+class TestControlTable:
+    def test_reset_loads_inputs_only(self, diffeq):
+        loads = diffeq.control.loads[RESET_STATE]
+        loaded = {r.name for r in diffeq.registers if loads[r.load_line]}
+        input_regs = {diffeq.value_reg[v] for v in diffeq.dfg.inputs}
+        assert loaded == input_regs
+
+    def test_hold_loads_nothing(self, diffeq):
+        assert not any(diffeq.control.loads[HOLD_STATE].values())
+
+    def test_hold_selects_all_dc(self, diffeq):
+        assert all(v is None for v in diffeq.control.selects[HOLD_STATE].values())
+
+    def test_every_op_register_loads_at_its_step(self, diffeq):
+        for b in diffeq.bindings.values():
+            if b.dest_register is None:
+                continue
+            line = diffeq.line_of_register(b.dest_register)
+            assert diffeq.control.loads[f"CS{b.step}"][line] == 1
+
+    def test_active_mux_selects_are_specified(self, diffeq):
+        for b in diffeq.bindings.values():
+            fu = diffeq.fu(b.fu)
+            state = f"CS{b.step}"
+            for mux in (fu.mux_a, fu.mux_b):
+                for sel in mux.sel_names:
+                    assert diffeq.control.selects[state][sel] is not None
+
+
+class TestSharedLoadLines:
+    def test_facet_shares_lines(self):
+        rtl = facet_rtl()
+        assert len(rtl.load_lines) < len(rtl.registers)
+        # all seven input registers load together in RESET on one line
+        input_regs = {rtl.value_reg[v] for v in rtl.dfg.inputs}
+        lines = {rtl.line_of_register(r) for r in input_regs}
+        assert len(lines) == 1
+
+    def test_shared_line_registers_have_identical_schedules(self):
+        rtl = facet_rtl()
+        for line, regs in rtl.regs_on_line.items():
+            schedules = {frozenset(rtl.reg_load_states(r)) for r in regs}
+            assert len(schedules) == 1
+
+    def test_unshared_lines_one_to_one(self, diffeq):
+        assert len(diffeq.load_lines) == len(diffeq.registers)
+
+
+class TestMuxStructure:
+    def test_select_bits_match_source_count(self, diffeq):
+        for mux in diffeq.all_muxes():
+            n = len(mux.sources)
+            expected = 0 if n <= 1 else (n - 1).bit_length()
+            assert len(mux.sel_names) == expected
+
+    def test_sel_names_globally_unique(self, diffeq):
+        seen = []
+        for mux in diffeq.all_muxes():
+            seen.extend(mux.sel_names)
+        assert len(seen) == len(set(seen))
+        assert sorted(seen, key=lambda s: int(s[2:])) == diffeq.sel_lines
+
+    def test_sel_bits_for_roundtrip(self, diffeq):
+        for mux in diffeq.all_muxes():
+            for i in range(len(mux.sources)):
+                bits = mux.sel_bits_for(i)
+                back = sum(bits[name] << k for k, name in enumerate(mux.sel_names))
+                assert back == i
+
+    def test_fu_port_muxes_read_regs_or_consts(self, diffeq):
+        for f in diffeq.fus:
+            for mux in (f.mux_a, f.mux_b):
+                assert all(s.kind in ("reg", "const") for s in mux.sources)
+
+
+class TestErrors:
+    def test_dead_op_rejected(self):
+        d = diffeq_dfg()
+        d.op("dead", OpKind.ADD, "x", "y")
+        s = list_schedule(d, resources={OpKind.MUL: 1, OpKind.ADD: 1, OpKind.SUB: 1})
+        with pytest.raises(Exception, match="never used"):
+            bind_design(d, s)

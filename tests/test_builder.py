@@ -1,0 +1,103 @@
+"""Unit tests for NetlistBuilder, including hierarchy flattening."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import NetlistError
+
+
+class TestBasics:
+    def test_bus_names(self):
+        b = NetlistBuilder()
+        bus = b.bus("d", 3)
+        assert [b.netlist.net_names[n] for n in bus] == ["d[0]", "d[1]", "d[2]"]
+
+    def test_net_is_idempotent_by_name(self):
+        b = NetlistBuilder()
+        assert b.net("x") == b.net("x")
+
+    def test_fresh_names_unique(self):
+        b = NetlistBuilder()
+        assert b.net() != b.net()
+
+    def test_const_bus_lsb_first(self):
+        b = NetlistBuilder()
+        bus = b.const_bus(0b101, 3)
+        types = [b.netlist.driver_of(n).gtype for n in bus]
+        assert types == [GateType.CONST1, GateType.CONST0, GateType.CONST1]
+
+    def test_default_tag_applied(self):
+        b = NetlistBuilder()
+        b.default_tag = "dp"
+        a = b.input("a")
+        y = b.not_(a)
+        assert b.netlist.driver_of(y).tag == "dp"
+
+    def test_done_validates(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        b.output(b.buf_(a))
+        nl = b.done()
+        assert len(nl.gates) == 1
+
+
+def _half_adder():
+    sub = NetlistBuilder("ha")
+    a = sub.input("a")
+    c = sub.input("b")
+    sub.output(sub.xor_([a, c], name="sx", output=sub.net("s")))
+    sub.output(sub.and_([a, c], name="cx", output=sub.net("co"), tag="carry"))
+    return sub.done()
+
+
+class TestInstantiate:
+    def test_flattening_connects_ports(self):
+        ha = _half_adder()
+        top = NetlistBuilder("top")
+        x = top.input("x")
+        y = top.input("y")
+        s = top.net("sum")
+        mapping = top.instantiate(ha, {"a": x, "b": y, "s": s}, prefix="u1")
+        assert mapping["s"] == s
+        assert top.netlist.has_net("u1/co")
+        top.output(s)
+        top.done()
+
+    def test_unbound_input_rejected(self):
+        ha = _half_adder()
+        top = NetlistBuilder("top")
+        x = top.input("x")
+        with pytest.raises(NetlistError, match="unbound input"):
+            top.instantiate(ha, {"a": x}, prefix="u1")
+
+    def test_gate_names_prefixed(self):
+        ha = _half_adder()
+        top = NetlistBuilder("top")
+        top.instantiate(ha, {"a": top.input("x"), "b": top.input("y")}, prefix="u9")
+        names = {g.name for g in top.netlist.gates}
+        assert "u9/sx" in names
+
+    def test_tags_kept_or_defaulted(self):
+        ha = _half_adder()
+        top = NetlistBuilder("top")
+        top.instantiate(ha, {"a": top.input("x"), "b": top.input("y")}, prefix="u")
+        tags = {g.name: g.tag for g in top.netlist.gates}
+        assert tags["u/cx"] == "carry"  # kept
+        assert tags["u/sx"] == "u"  # defaulted to prefix
+
+    def test_tag_override(self):
+        ha = _half_adder()
+        top = NetlistBuilder("top")
+        top.instantiate(
+            ha, {"a": top.input("x"), "b": top.input("y")}, prefix="u", tag="forced"
+        )
+        assert all(g.tag == "forced" for g in top.netlist.gates)
+
+    def test_two_instances_coexist(self):
+        ha = _half_adder()
+        top = NetlistBuilder("top")
+        x, y = top.input("x"), top.input("y")
+        top.instantiate(ha, {"a": x, "b": y}, prefix="u1")
+        top.instantiate(ha, {"a": x, "b": y}, prefix="u2")
+        assert len(top.netlist.gates) == 4

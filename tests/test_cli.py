@@ -1,0 +1,101 @@
+"""Tests for the repro-faults command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_classify_facet(capsys):
+    rc = main(["--patterns", "64", "classify", "facet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 2 row" in out
+    assert "SFR" in out
+
+
+def test_stats(capsys):
+    rc = main(["stats", "poly"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gates" in out and "DFFE" in out
+
+
+def test_export_verilog(tmp_path, capsys):
+    target = tmp_path / "facet.v"
+    rc = main(["export", "facet", str(target)])
+    assert rc == 0
+    text = target.read_text()
+    assert text.startswith("//")
+    assert "endmodule" in text
+
+
+def test_export_bench(tmp_path):
+    target = tmp_path / "facet.bench"
+    rc = main(["export", "facet", str(target)])
+    assert rc == 0
+    assert "INPUT(" in target.read_text()
+
+
+def test_grade_facet(capsys):
+    rc = main(["--patterns", "64", "grade", "facet", "--threshold", "0.05"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "Table 1" in out
+    assert "detected by power test" in out
+
+
+def test_bad_design_rejected():
+    with pytest.raises(SystemExit):
+        main(["classify", "nonexistent"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_encoding_option(capsys):
+    rc = main(["--encoding", "gray", "stats", "facet"])
+    assert rc == 0
+
+
+def test_datapath_command(capsys):
+    rc = main(["--patterns", "64", "datapath", "facet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "integrated datapath test" in out
+    assert "hardest components" in out
+
+
+def test_worstcase_command(capsys):
+    rc = main(["worstcase", "facet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worst case" in out
+
+
+def test_compile_command(tmp_path, capsys):
+    src = tmp_path / "beh.txt"
+    src.write_text(
+        "design mini\nwidth 4\ninputs a b\ns = a + b\np = s * b\noutput o p\n"
+    )
+    rc = main(["--patterns", "64", "compile", str(src)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "mini:" in out and "fault buckets" in out
+
+
+def test_dump_vcd_command(tmp_path, capsys):
+    target = tmp_path / "wave.vcd"
+    rc = main(["dump-vcd", "facet", str(target)])
+    assert rc == 0
+    assert "$enddefinitions" in target.read_text()
+
+
+def test_strategies_command(capsys):
+    rc = main(["--patterns", "64", "strategies", "facet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Test strategy comparison" in out
+    assert "integrated logic test" in out

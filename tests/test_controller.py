@@ -1,0 +1,99 @@
+"""Tests for FSM -> gate-level controller synthesis.
+
+The central property: for every encoding and output style, the synthesized
+netlist, simulated cycle by cycle, tracks ``FSM.simulate`` exactly (states
+via the encoding, outputs with don't-cares free).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.simulator import CycleSimulator
+from repro.synth.controller import synthesize_controller
+from repro.synth.fsm import FSM
+
+
+def _machine():
+    fsm = FSM("m", ["go"], ["p", "q"], [], "IDLE")
+    fsm.add_state("IDLE", {"p": 0, "q": None})
+    fsm.add_state("RUN1", {"p": 1, "q": 0})
+    fsm.add_state("RUN2", {"p": 0, "q": 1})
+    fsm.add_state("DONE", {"p": 1, "q": 1})
+    fsm.add_transition("IDLE", "RUN1", {"go": 1})
+    fsm.add_transition("IDLE", "IDLE", {"go": 0})
+    fsm.add_transition("RUN1", "RUN2")
+    fsm.add_transition("RUN2", "DONE", {"go": 1})
+    fsm.add_transition("RUN2", "RUN1", {"go": 0})
+    fsm.add_transition("DONE", "IDLE")
+    return fsm
+
+
+def _run(ctrl, input_seq):
+    """Simulate the netlist; return (state names, output dicts) per cycle."""
+    sim = CycleSimulator(ctrl.netlist, 1)
+    states, outputs = [], []
+    rev = {v: k for k, v in ctrl.encoding.codes.items()}
+    for cycle, assign in enumerate(input_seq):
+        sim.drive_const(ctrl.input_nets["reset"], 1 if cycle == 0 else 0)
+        for name, val in assign.items():
+            sim.drive_const(ctrl.input_nets[name], val)
+        sim.settle()
+        code = sim.sample_bus(ctrl.state_nets)[0]
+        states.append(rev.get(int(code), f"?{code}"))
+        outputs.append({o: int(sim.sample(n)[0]) for o, n in ctrl.output_nets.items()})
+        sim.latch()
+    return states, outputs
+
+
+@pytest.mark.parametrize("encoding", ["binary", "gray", "onehot"])
+@pytest.mark.parametrize("style", ["pla", "decoded", "minimized"])
+def test_matches_symbolic_simulation(encoding, style):
+    fsm = _machine()
+    ctrl = synthesize_controller(fsm, encoding_kind=encoding, output_style=style)
+    seq = [{"go": v} for v in [1, 1, 1, 0, 1, 0, 0, 1, 1, 1]]
+    states, outputs = _run(ctrl, seq)
+    ref = fsm.simulate(seq[1:])  # netlist spends cycle 0 in reset
+    # After the reset cycle the netlist state tracks the FSM exactly.
+    for i, (ref_state, ref_out) in enumerate(ref[: len(seq) - 1]):
+        assert states[i + 1] == ref_state
+        for o, val in ref_out.items():
+            if val is not None:
+                assert outputs[i + 1][o] == val, (i, o)
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=20))
+@settings(max_examples=20, deadline=None)
+def test_random_input_sequences(bits):
+    fsm = _machine()
+    ctrl = synthesize_controller(fsm)
+    seq = [{"go": v} for v in [0] + bits]
+    states, _ = _run(ctrl, seq)
+    ref = fsm.simulate(seq[1:])
+    assert states[1:] == [s for s, _ in ref][: len(seq) - 1]
+
+
+def test_reset_recovers_from_x_state():
+    ctrl = synthesize_controller(_machine())
+    sim = CycleSimulator(ctrl.netlist, 1)
+    assert sim.sample_bus(ctrl.state_nets)[0] == -1  # X at power-up
+    sim.drive_const(ctrl.input_nets["reset"], 1)
+    sim.drive_const(ctrl.input_nets["go"], 0)
+    sim.settle()
+    sim.latch()
+    assert sim.sample_bus(ctrl.state_nets)[0] == ctrl.encoding.codes["IDLE"]
+
+
+def test_unknown_style_rejected():
+    with pytest.raises(ValueError):
+        synthesize_controller(_machine(), output_style="nonsense")
+
+
+def test_outputs_marked_as_ports():
+    ctrl = synthesize_controller(_machine())
+    assert set(ctrl.output_nets.values()) == set(ctrl.netlist.outputs)
+
+
+def test_gates_carry_ctrl_tag():
+    ctrl = synthesize_controller(_machine(), tag="ctrl")
+    assert all(g.tag == "ctrl" for g in ctrl.netlist.gates)

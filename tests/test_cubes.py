@@ -1,0 +1,123 @@
+"""Unit + property tests for the cube algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.cubes import (
+    Cube,
+    cover_eval,
+    cover_minterms,
+    irredundant,
+    remove_contained,
+    try_merge,
+)
+
+N = 4
+cubes = st.builds(
+    lambda care, sub: Cube(sub & care, care),
+    st.integers(0, (1 << N) - 1),
+    st.integers(0, (1 << N) - 1),
+)
+
+
+class TestBasics:
+    def test_from_to_string_roundtrip(self):
+        for s in ["1-0-", "----", "0000", "111-"]:
+            assert Cube.from_string(s).to_string(4) == s
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_value_outside_care_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(value=0b10, care=0b01)
+
+    def test_contains_minterm(self):
+        c = Cube.from_string("1-0")
+        assert c.contains_minterm(0b001)  # var0=1, var2=0
+        assert c.contains_minterm(0b011)
+        assert not c.contains_minterm(0b000)
+
+    def test_universal_cube(self):
+        c = Cube(0, 0)
+        assert all(c.contains_minterm(m) for m in range(8))
+        assert c.num_literals() == 0
+
+    def test_literals(self):
+        c = Cube.from_string("1-0")
+        assert c.literals(3) == [(0, 1), (2, 0)]
+
+    def test_minterms_enumeration(self):
+        c = Cube.from_string("1--")
+        assert sorted(c.minterms(3)) == [1, 3, 5, 7]
+
+
+class TestRelations:
+    @given(cubes, cubes)
+    @settings(max_examples=100)
+    def test_covers_iff_minterm_subset(self, a, b):
+        sa, sb = set(a.minterms(N)), set(b.minterms(N))
+        assert a.covers(b) == (sb <= sa)
+
+    @given(cubes, cubes)
+    @settings(max_examples=100)
+    def test_intersects_iff_common_minterm(self, a, b):
+        assert a.intersects(b) == bool(set(a.minterms(N)) & set(b.minterms(N)))
+
+
+class TestMerge:
+    def test_merge_distance_one(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("100")
+        m = try_merge(a, b)
+        assert m is not None and m.to_string(3) == "10-"
+
+    def test_no_merge_distance_two(self):
+        assert try_merge(Cube.from_string("101"), Cube.from_string("010")) is None
+
+    def test_no_merge_different_care(self):
+        assert try_merge(Cube.from_string("10-"), Cube.from_string("100")) is None
+
+    @given(cubes, cubes)
+    @settings(max_examples=100)
+    def test_merge_is_exact_union(self, a, b):
+        m = try_merge(a, b)
+        if m is not None:
+            assert set(m.minterms(N)) == set(a.minterms(N)) | set(b.minterms(N))
+
+
+class TestCovers:
+    def test_cover_eval(self):
+        cover = [Cube.from_string("1--"), Cube.from_string("-11")]
+        assert cover_eval(cover, 0b001)
+        assert cover_eval(cover, 0b110)
+        assert not cover_eval(cover, 0b010)
+
+    def test_cover_minterms(self):
+        cover = [Cube.from_string("11-")]
+        assert cover_minterms(cover, 3) == {3, 7}
+
+    def test_remove_contained(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("11-")
+        assert remove_contained([big, small]) == [big]
+
+    def test_remove_contained_keeps_one_duplicate(self):
+        c = Cube.from_string("1-0")
+        assert remove_contained([c, c]) == [c]
+
+    def test_irredundant_drops_covered_cube(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("11-")  # subsumed given onset below
+        onset = set(a.minterms(3))
+        out = irredundant([a, b], onset, set())
+        assert out == [a]
+
+    def test_irredundant_keeps_needed_cubes(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-11")
+        onset = {0b001, 0b110}
+        out = irredundant([a, b], onset, set())
+        assert set(out) == {a, b}

@@ -1,0 +1,56 @@
+"""Tests for the integrated datapath-fault test."""
+
+import pytest
+
+from repro.core.datapath_faults import (
+    datapath_fault_universe,
+    integrated_datapath_test,
+)
+from repro.core.pipeline import controller_fault_universe
+from repro.logic.faultsim import Verdict
+
+
+@pytest.fixture(scope="module")
+def facet_dp_result(facet_system):
+    return integrated_datapath_test(facet_system, n_patterns=192)
+
+
+class TestUniverse:
+    def test_only_datapath_gates(self, facet_system):
+        universe = datapath_fault_universe(facet_system)
+        for site in universe:
+            gate = facet_system.netlist.gates[site.gate_index]
+            assert gate.tag.startswith("dp")
+
+    def test_disjoint_from_controller_universe(self, facet_system):
+        dp = set(datapath_fault_universe(facet_system))
+        ctrl_sys = {
+            facet_system.to_system_fault(s)
+            for s in controller_fault_universe(facet_system)
+        }
+        assert not dp & ctrl_sys
+
+
+class TestCoverage:
+    def test_reasonable_integrated_coverage(self, facet_dp_result):
+        """The paper's [17] claim: datapaths test acceptably through the
+        integrated machine (far better than the controller's SFR gap)."""
+        assert facet_dp_result.coverage() > 0.65
+
+    def test_every_fault_has_verdict(self, facet_dp_result, facet_system):
+        assert facet_dp_result.total == len(datapath_fault_universe(facet_system))
+        assert all(isinstance(v, Verdict) for v in facet_dp_result.verdicts.values())
+
+    def test_component_counts_sum(self, facet_dp_result):
+        tot = sum(t for _, t in facet_dp_result.by_component.values())
+        det = sum(d for d, _ in facet_dp_result.by_component.values())
+        assert tot == facet_dp_result.total
+        assert det == facet_dp_result.detected()
+
+    def test_hardest_components_sorted(self, facet_dp_result):
+        hardest = facet_dp_result.hardest_components(top=3)
+        rates = [r for _, r in hardest]
+        assert rates == sorted(rates)
+
+    def test_strict_coverage_not_above_lenient(self, facet_dp_result):
+        assert facet_dp_result.coverage(False) <= facet_dp_result.coverage(True)

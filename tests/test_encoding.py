@@ -1,0 +1,67 @@
+"""Unit tests for state encodings."""
+
+import pytest
+
+from repro.synth.encoding import encode
+from repro.synth.fsm import FSM, FSMError
+
+
+def _machine(n_states: int) -> FSM:
+    fsm = FSM("m", [], ["o"], [], "S0")
+    for i in range(n_states):
+        fsm.add_state(f"S{i}", {"o": i % 2})
+    for i in range(n_states):
+        fsm.add_transition(f"S{i}", f"S{(i + 1) % n_states}")
+    return fsm
+
+
+class TestBinary:
+    def test_codes_sequential(self):
+        enc = encode(_machine(5), "binary")
+        assert enc.n_bits == 3
+        assert [enc.codes[f"S{i}"] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_single_state_one_bit(self):
+        enc = encode(_machine(1), "binary")
+        assert enc.n_bits == 1
+
+    def test_code_bits_lsb_first(self):
+        enc = encode(_machine(5), "binary")
+        assert enc.code_bits("S4") == [0, 0, 1]
+
+
+class TestGray:
+    def test_adjacent_states_differ_one_bit(self):
+        enc = encode(_machine(8), "gray")
+        for i in range(7):
+            diff = enc.codes[f"S{i}"] ^ enc.codes[f"S{i + 1}"]
+            assert bin(diff).count("1") == 1
+
+    def test_codes_unique(self):
+        enc = encode(_machine(8), "gray")
+        assert len(set(enc.codes.values())) == 8
+
+
+class TestOneHot:
+    def test_one_bit_per_state(self):
+        enc = encode(_machine(6), "onehot")
+        assert enc.n_bits == 6
+        for code in enc.codes.values():
+            assert bin(code).count("1") == 1
+        assert len(set(enc.codes.values())) == 6
+
+
+class TestLookup:
+    def test_state_of(self):
+        enc = encode(_machine(4), "binary")
+        assert enc.state_of(2) == "S2"
+        assert enc.state_of(9) is None
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            encode(_machine(3), "johnson")
+
+    def test_empty_machine_rejected(self):
+        fsm = FSM("e", [], [], [], "S0")
+        with pytest.raises(FSMError):
+            encode(fsm, "binary")

@@ -1,0 +1,173 @@
+"""Unit + property tests for fault enumeration and equivalence collapsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.faults import FaultSite, collapse_faults, enumerate_faults
+from repro.logic.simulator import CycleSimulator
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+
+
+def _and_netlist():
+    b = NetlistBuilder()
+    a, c = b.input("a"), b.input("c")
+    y = b.and_([a, c], output=b.net("y"))
+    b.output(y)
+    return b.done()
+
+
+class TestEnumeration:
+    def test_counts_for_single_and(self):
+        nl = _and_netlist()
+        sites = enumerate_faults(nl)
+        # output 2 + two inputs x 2 = 6
+        assert len(sites) == 6
+
+    def test_pi_stems_optional(self):
+        nl = _and_netlist()
+        with_pi = enumerate_faults(nl, include_pi_stems=True)
+        assert len(with_pi) == 6 + 4
+
+    def test_const_gate_only_opposite_polarity(self):
+        b = NetlistBuilder()
+        c = b.const0()
+        y = b.buf_(c)
+        b.output(y)
+        nl = b.done()
+        sites = enumerate_faults(nl)
+        const_faults = [s for s in sites if s.net == c]
+        # CONST0 stem s-a-1 only; the BUF pin tied to 0 only gets s-a-1.
+        assert all(s.value == 1 for s in const_faults)
+
+    def test_tied_pin_matching_polarity_skipped(self):
+        b = NetlistBuilder()
+        c = b.const1()
+        a = b.input("a")
+        y = b.and_([a, c])
+        b.output(y)
+        nl = b.done()
+        sites = enumerate_faults(nl)
+        tied_branch = [s for s in sites if not s.is_stem and s.net == c]
+        assert all(s.value == 0 for s in tied_branch)
+
+    def test_describe_is_readable(self):
+        nl = _and_netlist()
+        sites = enumerate_faults(nl)
+        text = sites[0].describe(nl)
+        assert "s-a-" in text
+
+
+class TestCollapsing:
+    def test_and_sa0_class(self):
+        nl = _and_netlist()
+        sites = enumerate_faults(nl)
+        reps, mapping = collapse_faults(nl, sites)
+        g = nl.gates[0]
+        stem0 = FaultSite(g.index, -1, g.output, 0)
+        in0 = FaultSite(g.index, 0, g.inputs[0], 0)
+        in1 = FaultSite(g.index, 1, g.inputs[1], 0)
+        assert mapping[stem0] == mapping[in0] == mapping[in1]
+        # s-a-1 faults all distinct: 3 classes + 1 merged sa0 class = 4
+        assert len(reps) == 4
+
+    def test_not_gate_inversion(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        y = b.not_(a, output=b.net("y"))
+        b.output(y)
+        nl = b.done()
+        sites = enumerate_faults(nl)
+        reps, mapping = collapse_faults(nl, sites)
+        g = nl.gates[0]
+        assert mapping[FaultSite(g.index, 0, a, 0)] == mapping[FaultSite(g.index, -1, y, 1)]
+        assert len(reps) == 2
+
+    def test_fanout_free_stem_merges_with_branch(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        n = b.buf_(a)
+        y = b.not_(n, output=b.net("y"))
+        b.output(y)
+        nl = b.done()
+        sites = enumerate_faults(nl)
+        reps, mapping = collapse_faults(nl, sites)
+        buf = nl.gates[0]
+        inv = nl.gates[1]
+        assert mapping[FaultSite(buf.index, -1, n, 0)] == mapping[FaultSite(inv.index, 0, n, 0)]
+
+    def test_stem_with_fanout_not_merged(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        n = b.buf_(a)
+        y1 = b.not_(n)
+        y2 = b.not_(n)
+        b.output(y1)
+        b.output(y2)
+        nl = b.done()
+        sites = enumerate_faults(nl)
+        _, mapping = collapse_faults(nl, sites)
+        buf = nl.gates[0]
+        inv1 = nl.gates[1]
+        stem = FaultSite(buf.index, -1, n, 0)
+        branch = FaultSite(inv1.index, 0, n, 0)
+        assert mapping[stem] != mapping[branch]
+
+    def test_deterministic_representatives(self):
+        nl = _and_netlist()
+        sites = enumerate_faults(nl)
+        reps1, _ = collapse_faults(nl, sites)
+        reps2, _ = collapse_faults(nl, sites)
+        assert reps1 == reps2
+
+
+def _random_netlist(seed: int):
+    """Small random combinational netlist for the soundness property."""
+    rng = np.random.default_rng(seed)
+    b = NetlistBuilder()
+    nets = [b.input(f"i{k}") for k in range(3)]
+    for k in range(6):
+        t = rng.choice(["and", "or", "xor", "not", "mux"])
+        if t == "not":
+            nets.append(b.not_(nets[int(rng.integers(len(nets)))]))
+        elif t == "mux":
+            s, a, c = (nets[int(rng.integers(len(nets)))] for _ in range(3))
+            nets.append(b.mux2_(s, a, c))
+        else:
+            x, y = (nets[int(rng.integers(len(nets)))] for _ in range(2))
+            op = {"and": b.and_, "or": b.or_, "xor": b.xor_}[t]
+            nets.append(op([x, y]))
+    b.output(nets[-1])
+    b.output(nets[-2])
+    return b.done()
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_collapsing_soundness(seed):
+    """Faults merged into one class must be indistinguishable at the
+    outputs for every input combination (exhaustive over 3 inputs)."""
+    nl = _random_netlist(seed)
+    sites = enumerate_faults(nl)
+    _, mapping = collapse_faults(nl, sites)
+    inputs = [nl.net_id(f"i{k}") for k in range(3)]
+    patterns = [[(p >> k) & 1 for p in range(8)] for k in range(3)]
+
+    def response(fault):
+        sim = CycleSimulator(nl, 8, faults=[fault])
+        for k, net in enumerate(inputs):
+            sim.drive(net, patterns[k])
+        sim.settle()
+        return tuple(tuple(sim.sample(o)) for o in nl.outputs)
+
+    by_class: dict = {}
+    for s in sites:
+        by_class.setdefault(mapping[s], []).append(s)
+    for rep, members in by_class.items():
+        if len(members) == 1:
+            continue
+        ref = response(members[0])
+        for m in members[1:]:
+            assert response(m) == ref, f"{members[0]} vs {m} not equivalent"

@@ -1,0 +1,87 @@
+"""Unit tests for the serial fault simulator and its verdicts."""
+
+import numpy as np
+
+from repro.logic.faults import FaultSite
+from repro.logic.faultsim import Verdict, fault_simulate
+from repro.netlist.builder import NetlistBuilder
+
+
+class _Stim:
+    """Drives one input net with a fixed per-cycle constant."""
+
+    def __init__(self, assignments, n_patterns=4):
+        self.assignments = assignments  # list of {net: value}
+        self.n_patterns = n_patterns
+        self.n_cycles = len(assignments)
+
+    def apply(self, sim, cycle):
+        for net, val in self.assignments[cycle].items():
+            sim.drive_const(net, val)
+
+
+def _pipeline_netlist():
+    """in -> BUF -> DFF(q) -> out ; en-gated DFFE(p) never enabled."""
+    b = NetlistBuilder()
+    a = b.input("a")
+    en = b.input("en")
+    n = b.buf_(a, output=b.net("n"))
+    q = b.dff(n, output=b.net("q"))
+    p = b.dffe(en, n, output=b.net("p"))
+    b.output(q)
+    b.output(p)
+    return b.done(), a, en, n, q, p
+
+
+def test_obvious_fault_detected():
+    nl, a, en, n, q, p = _pipeline_netlist()
+    g = nl.driver_of(n)
+    fault = FaultSite(g.index, -1, n, 1)
+    stim = _Stim([{a: 0, en: 0}] * 4)
+    res = fault_simulate(nl, [fault], stim, observe=[q])
+    assert res.verdicts[fault] is Verdict.DETECTED
+    assert res.detect_cycle[fault] >= 1
+    assert res.coverage() == 1.0
+
+
+def test_never_enabled_register_gives_potential():
+    nl, a, en, n, q, p = _pipeline_netlist()
+    # en stuck at 0 keeps p at X forever: golden loads (en=1), faulty not.
+    en_reader = [g for g in nl.gates if g.output == p][0]
+    fault = FaultSite(en_reader.index, 0, en, 0)
+    stim = _Stim([{a: 1, en: 1}] * 4)
+    res = fault_simulate(nl, [fault], stim, observe=[p])
+    assert res.verdicts[fault] is Verdict.POTENTIAL
+
+
+def test_equivalent_behaviour_undetected():
+    nl, a, en, n, q, p = _pipeline_netlist()
+    g = nl.driver_of(n)
+    fault = FaultSite(g.index, -1, n, 1)
+    # Input held at 1 -> forcing n to 1 changes nothing.
+    stim = _Stim([{a: 1, en: 0}] * 4)
+    res = fault_simulate(nl, [fault], stim, observe=[q])
+    assert res.verdicts[fault] is Verdict.UNDETECTED
+
+
+def test_valid_masks_suppress_detection():
+    nl, a, en, n, q, p = _pipeline_netlist()
+    g = nl.driver_of(n)
+    fault = FaultSite(g.index, -1, n, 1)
+    stim = _Stim([{a: 0, en: 0}] * 4)
+    zero_masks = [np.zeros(1, dtype=np.uint64) for _ in range(4)]
+    res = fault_simulate(nl, [fault], stim, observe=[q], valid_masks=zero_masks)
+    assert res.verdicts[fault] is Verdict.UNDETECTED
+
+
+def test_by_verdict_buckets():
+    nl, a, en, n, q, p = _pipeline_netlist()
+    g = nl.driver_of(n)
+    f1 = FaultSite(g.index, -1, n, 1)  # detected (a=0)
+    en_reader = [gg for gg in nl.gates if gg.output == p][0]
+    f2 = FaultSite(en_reader.index, 0, en, 0)  # potential on p
+    stim = _Stim([{a: 0, en: 1}] * 4)
+    res = fault_simulate(nl, [f1, f2], stim)
+    assert f1 in res.by_verdict(Verdict.DETECTED)
+    assert f2 in res.by_verdict(Verdict.POTENTIAL)
+    assert 0.0 < res.coverage() < 1.0

@@ -1,0 +1,122 @@
+"""Tests for the behavioural text front end."""
+
+import pytest
+
+from repro.designs.catalog import DFG_BUILDERS
+from repro.hls.frontend import BehaviorSyntaxError, format_behavior, parse_behavior
+
+DIFFEQ_SRC = """
+# forward-Euler differential equation solver
+design diffeq
+width 4
+inputs x y u dx a
+const three 3
+m1 = three * x
+m2 = m1 * u
+m3 = m2 * dx
+m4 = three * y
+m5 = m4 * dx
+m6 = u * dx
+s1 = u - m3
+u1 = s1 - m5
+y1 = y + m6
+x1 = x + dx
+c = x1 < a
+loop c
+update x x1
+update u u1
+update y y1
+output y_out y
+"""
+
+
+class TestParse:
+    def test_parses_diffeq(self):
+        dfg = parse_behavior(DIFFEQ_SRC)
+        assert dfg.name == "diffeq"
+        assert dfg.width == 4
+        assert dfg.inputs == ["x", "y", "u", "dx", "a"]
+        assert dfg.loop_condition == "c"
+        assert set(dfg.loop_updates) == {"x", "u", "y"}
+
+    def test_matches_coded_design_semantics(self):
+        parsed = parse_behavior(DIFFEQ_SRC)
+        coded = DFG_BUILDERS["diffeq"]()
+        env = {"x": 1, "y": 2, "u": 3, "dx": 1, "a": 3}
+        assert parsed.execute(env) == coded.execute(env)
+
+    def test_all_operators(self):
+        src = """
+        inputs a b
+        r1 = a + b
+        r2 = a - b
+        r3 = a * b
+        r4 = a < b
+        r5 = a & b
+        r6 = a | b
+        r7 = a ^ b
+        s = r1 + r2
+        t = r3 + r4
+        v = r5 + r6
+        w = r7 + s
+        x2 = t + v
+        final = w + x2
+        output o final
+        """
+        dfg = parse_behavior(src)
+        assert len(dfg.ops) == 13
+
+    def test_hex_constants(self):
+        dfg = parse_behavior("inputs a\nconst k 0xA\ns = a + k\noutput o s\n")
+        assert dfg.constants["k"] == 10
+
+    def test_comments_and_blank_lines(self):
+        dfg = parse_behavior("\n# hi\ninputs a\n  # indented\ns = a + a\noutput o s\n")
+        assert len(dfg.ops) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src,match",
+        [
+            ("inputs a\ns = a +\noutput o s", "unparseable"),
+            ("width four\ninputs a", "bad width"),
+            ("inputs a\nconst k\ns = a + a\noutput o s", "const NAME VALUE"),
+            ("inputs a\nconst k zz\ns = a + a\noutput o s", "bad constant"),
+            ("inputs a\ns = a + a\nupdate x\noutput o s", "update VAR VALUE"),
+            ("inputs a\ns = a + a\noutput o s t", "output PORT VALUE"),
+            ("design\ninputs a\ns = a + a\noutput o s", "design needs a name"),
+        ],
+    )
+    def test_syntax_errors(self, src, match):
+        with pytest.raises(BehaviorSyntaxError, match=match):
+            parse_behavior(src)
+
+    def test_line_numbers_reported(self):
+        try:
+            parse_behavior("inputs a\nbogus line here\n")
+        except BehaviorSyntaxError as exc:
+            assert exc.lineno == 2
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_semantic_errors_surface(self):
+        with pytest.raises(BehaviorSyntaxError, match="unknown value"):
+            parse_behavior("inputs a\ns = a + zzz\noutput o s\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["diffeq", "facet", "poly"])
+    def test_format_parse_roundtrip(self, name):
+        original = DFG_BUILDERS[name]()
+        text = format_behavior(original)
+        again = parse_behavior(text)
+        assert again.name == original.name
+        assert again.inputs == original.inputs
+        assert again.constants == original.constants
+        assert [(o.name, o.kind, o.a, o.b) for o in again.ops] == [
+            (o.name, o.kind, o.a, o.b) for o in original.ops
+        ]
+        assert again.outputs == original.outputs
+        assert again.loop_condition == original.loop_condition
+        assert again.loop_updates == original.loop_updates

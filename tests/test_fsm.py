@@ -1,0 +1,90 @@
+"""Unit tests for the symbolic FSM model."""
+
+import pytest
+
+from repro.synth.fsm import FSM, FSMError
+
+
+def _toy():
+    fsm = FSM("toy", input_names=["go"], output_names=["o"], states=[], reset_state="S0")
+    fsm.add_state("S0", {"o": 0})
+    fsm.add_state("S1", {"o": 1})
+    fsm.add_state("S2", {"o": None})
+    fsm.add_transition("S0", "S1", {"go": 1})
+    fsm.add_transition("S0", "S0", {"go": 0})
+    fsm.add_transition("S1", "S2")
+    fsm.add_transition("S2", "S0")
+    return fsm
+
+
+class TestConstruction:
+    def test_duplicate_state_rejected(self):
+        fsm = _toy()
+        with pytest.raises(FSMError):
+            fsm.add_state("S0", {"o": 0})
+
+    def test_unknown_output_rejected(self):
+        fsm = _toy()
+        with pytest.raises(FSMError):
+            fsm.add_state("S3", {"bogus": 1})
+
+    def test_unknown_guard_input_rejected(self):
+        fsm = _toy()
+        with pytest.raises(FSMError):
+            fsm.add_transition("S0", "S1", {"bogus": 1})
+
+    def test_missing_outputs_default_dc(self):
+        fsm = _toy()
+        assert fsm.outputs["S2"]["o"] is None
+
+
+class TestValidation:
+    def test_valid_machine(self):
+        _toy().validate()
+
+    def test_incomplete_transition_detected(self):
+        fsm = FSM("bad", ["go"], ["o"], [], "A")
+        fsm.add_state("A", {"o": 0})
+        fsm.add_transition("A", "A", {"go": 0})
+        with pytest.raises(FSMError, match="no transition"):
+            fsm.validate()
+
+    def test_nondeterminism_detected(self):
+        fsm = FSM("bad", ["go"], ["o"], [], "A")
+        fsm.add_state("A", {"o": 0})
+        fsm.add_state("B", {"o": 1})
+        fsm.add_transition("A", "A")
+        fsm.add_transition("A", "B", {"go": 1})
+        with pytest.raises(FSMError, match="nondeterministic"):
+            fsm.validate()
+
+    def test_missing_reset_state(self):
+        fsm = FSM("bad", [], ["o"], [], "NOPE")
+        fsm.add_state("A", {"o": 0})
+        fsm.add_transition("A", "A")
+        with pytest.raises(FSMError, match="reset state"):
+            fsm.validate()
+
+
+class TestSemantics:
+    def test_next_state(self):
+        fsm = _toy()
+        assert fsm.next_state("S0", {"go": 1}) == "S1"
+        assert fsm.next_state("S0", {"go": 0}) == "S0"
+        assert fsm.next_state("S1", {"go": 0}) == "S2"
+
+    def test_simulate_trace(self):
+        fsm = _toy()
+        trace = fsm.simulate([{"go": 1}, {"go": 0}, {"go": 0}])
+        assert [s for s, _ in trace] == ["S0", "S1", "S2", "S0"]
+        assert trace[1][1] == {"o": 1}
+
+    def test_reachable_states(self):
+        fsm = _toy()
+        assert fsm.reachable_states() == {"S0", "S1", "S2"}
+
+    def test_unreachable_state_excluded(self):
+        fsm = _toy()
+        fsm.add_state("ISLAND", {"o": 0})
+        fsm.add_transition("ISLAND", "ISLAND")
+        assert "ISLAND" not in fsm.reachable_states()

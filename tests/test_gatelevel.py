@@ -1,0 +1,144 @@
+"""Unit tests for RTL -> gate-level elaboration (FUs, muxes, registers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hls import gatelevel as gl
+from repro.designs.catalog import build_rtl
+from repro.hls.rtl import MuxSpec, Source
+from repro.logic.simulator import CycleSimulator
+from repro.netlist.builder import NetlistBuilder
+
+W = 4
+MASK = (1 << W) - 1
+
+
+def _exhaustive(builder_fn, ref):
+    b = NetlistBuilder()
+    a = b.input_bus("a", W)
+    c = b.input_bus("c", W)
+    out = builder_fn(b, a, c)
+    for n in out:
+        b.output(n)
+    nl = b.done()
+    av = np.arange(256) % 16
+    cv = np.arange(256) // 16
+    sim = CycleSimulator(nl, 256)
+    sim.drive_bus(a, av)
+    sim.drive_bus(c, cv)
+    sim.settle()
+    got = sim.sample_bus(out)
+    for x, y, g in zip(av, cv, got):
+        assert g == ref(int(x), int(y)), (x, y, g)
+
+
+class TestArithmetic:
+    def test_adder_exhaustive(self):
+        _exhaustive(
+            lambda b, a, c: gl._ripple_add(b, a, c, b.const0(), "t")[0],
+            lambda x, y: (x + y) & MASK,
+        )
+
+    def test_adder_carry_out(self):
+        b = NetlistBuilder()
+        a = b.input_bus("a", W)
+        c = b.input_bus("c", W)
+        _, cout = gl._ripple_add(b, a, c, b.const0(), "t")
+        b.output(cout)
+        nl = b.done()
+        sim = CycleSimulator(nl, 256)
+        av, cv = np.arange(256) % 16, np.arange(256) // 16
+        sim.drive_bus(a, av)
+        sim.drive_bus(c, cv)
+        sim.settle()
+        assert (sim.sample(cout) == ((av + cv) > MASK)).all()
+
+    def test_subtractor_exhaustive(self):
+        _exhaustive(lambda b, a, c: gl._subtract(b, a, c, "t")[0], lambda x, y: (x - y) & MASK)
+
+    def test_multiplier_exhaustive(self):
+        _exhaustive(lambda b, a, c: gl._multiply(b, a, c, "t"), lambda x, y: (x * y) & MASK)
+
+    def test_comparator_exhaustive(self):
+        _exhaustive(lambda b, a, c: [gl._less_than(b, a, c, "t")], lambda x, y: int(x < y))
+
+    def test_bitwise_ops(self):
+        from repro.hls.dfg import OpKind
+
+        _exhaustive(lambda b, a, c: gl._fu_logic(b, OpKind.AND, a, c, "t"), lambda x, y: x & y)
+        _exhaustive(lambda b, a, c: gl._fu_logic(b, OpKind.OR, a, c, "t"), lambda x, y: x | y)
+        _exhaustive(lambda b, a, c: gl._fu_logic(b, OpKind.XOR, a, c, "t"), lambda x, y: x ^ y)
+
+
+class TestMuxTree:
+    @pytest.mark.parametrize("n_sources", [2, 3, 4, 5, 8])
+    def test_selects_correct_source(self, n_sources):
+        b = NetlistBuilder()
+        buses = [b.input_bus(f"s{i}", W) for i in range(n_sources)]
+        n_bits = (n_sources - 1).bit_length()
+        sels = [b.input(f"sel{i}") for i in range(n_bits)]
+        mux = MuxSpec(name="m", sources=[Source("reg", f"s{i}") for i in range(n_sources)])
+        out = gl._mux_tree(b, mux, buses, sels, "t")
+        for n in out:
+            b.output(n)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1)
+        for i, bus in enumerate(buses):
+            sim.drive_bus(bus, [i + 1])
+        for index in range(n_sources):
+            for k, s in enumerate(sels):
+                sim.drive_const(s, (index >> k) & 1)
+            sim.settle()
+            assert sim.sample_bus(out)[0] == index + 1
+
+    def test_padded_indices_alias_source_zero(self):
+        b = NetlistBuilder()
+        buses = [b.input_bus(f"s{i}", W) for i in range(3)]
+        sels = [b.input("sel0"), b.input("sel1")]
+        mux = MuxSpec(name="m", sources=[Source("reg", f"s{i}") for i in range(3)])
+        out = gl._mux_tree(b, mux, buses, sels, "t")
+        for n in out:
+            b.output(n)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1)
+        for i, bus in enumerate(buses):
+            sim.drive_bus(bus, [i + 5])
+        sim.drive_const(sels[0], 1)
+        sim.drive_const(sels[1], 1)  # index 3 -> padded -> source 0
+        sim.settle()
+        assert sim.sample_bus(out)[0] == 5
+
+    def test_single_source_passthrough(self):
+        b = NetlistBuilder()
+        bus = b.input_bus("s", W)
+        mux = MuxSpec(name="m", sources=[Source("reg", "s")])
+        out = gl._mux_tree(b, mux, [bus], [], "t")
+        assert out == bus
+
+
+class TestElaboratedDatapath:
+    @pytest.fixture(scope="class")
+    def dp(self):
+        return gl.elaborate_datapath(build_rtl("diffeq"))
+
+    def test_interface_nets_exist(self, dp):
+        rtl_lines = set(dp.control_nets)
+        assert "LD1" in rtl_lines and "MS1" in rtl_lines
+
+    def test_cond_net_is_output(self, dp):
+        assert dp.cond_net in dp.netlist.outputs
+
+    def test_every_register_has_width_ffs(self, dp):
+        from repro.netlist.gates import GateType
+
+        dffe = [g for g in dp.netlist.gates if g.gtype is GateType.DFFE]
+        assert len(dffe) == W * len(dp.reg_q)
+
+    def test_gates_tagged_dp(self, dp):
+        assert all(g.tag.startswith("dp:") for g in dp.netlist.gates)
+
+    def test_output_buses_are_register_qs(self, dp):
+        for port, bus in dp.output_buses.items():
+            assert bus in dp.reg_q.values()

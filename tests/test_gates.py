@@ -1,0 +1,79 @@
+"""Unit tests for the gate library."""
+
+import pytest
+
+from repro.netlist.gates import (
+    FIXED_ARITY,
+    GateType,
+    VARIADIC_TYPES,
+    eval_gate_ints,
+    is_constant,
+    is_sequential,
+    valid_arity,
+)
+
+
+class TestArity:
+    def test_variadic_types_accept_two_or_more(self):
+        for t in VARIADIC_TYPES:
+            assert not valid_arity(t, 1)
+            assert valid_arity(t, 2)
+            assert valid_arity(t, 7)
+
+    def test_fixed_arity_exact(self):
+        for t, n in FIXED_ARITY.items():
+            assert valid_arity(t, n)
+            assert not valid_arity(t, n + 1)
+            if n > 0:
+                assert not valid_arity(t, n - 1)
+
+    def test_every_type_classified(self):
+        for t in GateType:
+            assert t in VARIADIC_TYPES or t in FIXED_ARITY
+
+
+class TestPredicates:
+    def test_sequential(self):
+        assert is_sequential(GateType.DFF)
+        assert is_sequential(GateType.DFFE)
+        assert not is_sequential(GateType.AND)
+
+    def test_constant(self):
+        assert is_constant(GateType.CONST0)
+        assert is_constant(GateType.CONST1)
+        assert not is_constant(GateType.BUF)
+
+
+class TestEval:
+    @pytest.mark.parametrize(
+        "gtype,inputs,expected",
+        [
+            (GateType.AND, [1, 1], 1),
+            (GateType.AND, [1, 0], 0),
+            (GateType.AND, [1, 1, 1], 1),
+            (GateType.OR, [0, 0], 0),
+            (GateType.OR, [0, 1], 1),
+            (GateType.NAND, [1, 1], 0),
+            (GateType.NAND, [0, 1], 1),
+            (GateType.NOR, [0, 0], 1),
+            (GateType.NOR, [1, 0], 0),
+            (GateType.XOR, [1, 0], 1),
+            (GateType.XOR, [1, 1], 0),
+            (GateType.XOR, [1, 1, 1], 1),
+            (GateType.XNOR, [1, 0], 0),
+            (GateType.XNOR, [1, 1], 1),
+            (GateType.NOT, [0], 1),
+            (GateType.NOT, [1], 0),
+            (GateType.BUF, [1], 1),
+            (GateType.MUX2, [0, 1, 0], 1),  # sel=0 -> a
+            (GateType.MUX2, [1, 1, 0], 0),  # sel=1 -> b
+            (GateType.CONST0, [], 0),
+            (GateType.CONST1, [], 1),
+        ],
+    )
+    def test_truth_tables(self, gtype, inputs, expected):
+        assert eval_gate_ints(gtype, inputs) == expected
+
+    def test_sequential_not_evaluable(self):
+        with pytest.raises(ValueError):
+            eval_gate_ints(GateType.DFF, [1])

@@ -1,0 +1,112 @@
+"""Tests for Monte-Carlo power grading of SFR faults."""
+
+import pytest
+
+from repro.core.grading import (
+    grade_sfr_faults,
+    pick_representative,
+    table3_rows,
+    power_under_test_set,
+)
+from repro.power.estimator import PowerEstimator
+
+
+@pytest.fixture(scope="module")
+def facet_grading(facet_system, facet_pipeline):
+    return grade_sfr_faults(
+        facet_system, facet_pipeline, batch_patterns=96, max_batches=4
+    )
+
+
+class TestGrading:
+    def test_every_sfr_fault_graded(self, facet_grading, facet_pipeline):
+        assert len(facet_grading.graded) == len(facet_pipeline.sfr_records)
+
+    def test_figure7_ordering(self, facet_grading):
+        groups = [g.group for g in facet_grading.graded]
+        # select-only faults first, then load faults
+        if "select" in groups and "load" in groups:
+            assert groups.index("load") > groups.index("select")
+            first_load = groups.index("load")
+            assert all(g == "load" for g in groups[first_load:])
+        for name in ("select", "load"):
+            powers = [g.power_uw for g in facet_grading.graded if g.group == name]
+            assert powers == sorted(powers)
+
+    def test_load_faults_increase_power(self, facet_grading):
+        """The paper's guarantee: extra-load SFR faults only increase power
+        (gated clocks).  Allow tiny negative noise for zero-effect faults."""
+        for g in facet_grading.group("load"):
+            assert g.pct_change > -0.5
+
+    def test_group_assignment_matches_classification(self, facet_grading):
+        for g in facet_grading.graded:
+            expected = "load" if g.record.classification.affects_load_line else "select"
+            assert g.group == expected
+
+    def test_detected_flags_respect_threshold(self, facet_grading):
+        flags = facet_grading.detected_flags()
+        for flag, g in zip(flags, facet_grading.graded):
+            assert flag == (abs(g.pct_change) > 100 * facet_grading.threshold)
+
+    def test_summary_counts(self, facet_grading):
+        s = facet_grading.summary()
+        assert s["n_sfr"] == len(facet_grading.graded)
+        assert s["n_select_only"] + s["n_load"] == s["n_sfr"]
+        assert s["select_detected"] <= s["n_select_only"]
+        assert s["load_detected"] <= s["n_load"]
+
+    def test_some_load_fault_beyond_band(self, facet_grading):
+        """Facet's shared load lines produce large increases (paper 7b)."""
+        assert facet_grading.summary()["load_detected"] >= 1
+
+
+class TestRepresentativePicks:
+    def test_picks_span_range(self, facet_grading):
+        picks = pick_representative(facet_grading, count=5)
+        assert len(picks) >= 2
+        pcts = [p.pct_change for p in picks]
+        assert pcts == sorted(pcts)
+        assert picks[0].pct_change == min(g.pct_change for g in facet_grading.graded)
+        assert picks[-1].pct_change == max(g.pct_change for g in facet_grading.graded)
+
+    def test_small_set_returns_all(self, facet_grading):
+        picks = pick_representative(facet_grading, count=10**6)
+        assert len(picks) == len(facet_grading.graded)
+
+
+class TestTestSets:
+    def test_fault_free_power_under_test_set_positive(self, facet_system):
+        est = PowerEstimator(facet_system.netlist)
+        p = power_under_test_set(facet_system, est, None, seed=0xACE1, n_patterns=64)
+        assert p > 0
+
+    def test_different_seeds_different_power(self, facet_system):
+        est = PowerEstimator(facet_system.netlist)
+        p1 = power_under_test_set(facet_system, est, None, seed=0xACE1, n_patterns=64)
+        p2 = power_under_test_set(facet_system, est, None, seed=1, n_patterns=64)
+        assert p1 != p2
+
+    def test_table3_rows_structure(self, facet_system, facet_grading):
+        est = PowerEstimator(facet_system.netlist)
+        picks = pick_representative(facet_grading, count=2)
+        rows = table3_rows(
+            facet_system, est, facet_grading, picks, seeds=(0xACE1, 1), n_patterns=64
+        )
+        assert rows[0].label == "fault-free"
+        assert len(rows) == 1 + len(picks)
+        for row in rows[1:]:
+            assert len(row.per_set_uw) == 2
+            assert row.per_set_pct is not None
+
+    def test_pct_consistency_across_test_sets(self, facet_system, facet_grading):
+        """Paper Table 3: the percentage increase is reasonably consistent
+        from test set to test set.  Check the biggest-effect fault agrees
+        within a few points between two seeds."""
+        est = PowerEstimator(facet_system.netlist)
+        picks = [facet_grading.graded[-1]]  # largest power effect
+        rows = table3_rows(
+            facet_system, est, facet_grading, picks, seeds=(0xACE1, 0xBEEF), n_patterns=256
+        )
+        pcts = rows[1].per_set_pct
+        assert abs(pcts[0] - pcts[1]) < 6.0

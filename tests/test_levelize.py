@@ -1,0 +1,73 @@
+"""Unit tests for combinational levelization."""
+
+import pytest
+
+from repro.logic.levelize import levelize, logic_depth
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import NetlistError
+
+
+def test_simple_chain_levels():
+    b = NetlistBuilder()
+    a = b.input("a")
+    n1 = b.not_(a)
+    n2 = b.not_(n1)
+    n3 = b.not_(n2)
+    b.output(n3)
+    nl = b.done()
+    levels = levelize(nl)
+    assert [len(lvl) for lvl in levels] == [1, 1, 1]
+    assert logic_depth(nl) == 3
+
+
+def test_dff_breaks_cycle():
+    b = NetlistBuilder()
+    q = b.net("q")
+    nq = b.not_(q)
+    b.dff(nq, output=q)
+    b.output(q)
+    nl = b.done()
+    levels = levelize(nl)
+    assert len(levels) == 1  # just the inverter
+
+
+def test_combinational_loop_detected():
+    b = NetlistBuilder()
+    x = b.net("x")
+    y = b.not_(x)
+    b.not_(y, output=x)
+    b.output(x)
+    with pytest.raises(NetlistError, match="combinational loop"):
+        levelize(b.netlist)
+
+
+def test_level_respects_all_inputs():
+    b = NetlistBuilder()
+    a = b.input("a")
+    c = b.input("c")
+    n1 = b.not_(a)  # level 1
+    n2 = b.and_([n1, c])  # level 2
+    n3 = b.or_([n2, n1])  # level 3
+    b.output(n3)
+    nl = b.done()
+    levels = levelize(nl)
+    flat = {gi: lvl for lvl, gates in enumerate(levels, 1) for gi in gates}
+    g_not = nl.driver_of(n1).index
+    g_and = nl.driver_of(n2).index
+    g_or = nl.driver_of(n3).index
+    assert flat[g_not] < flat[g_and] < flat[g_or]
+
+
+def test_constants_not_in_levels():
+    b = NetlistBuilder()
+    c = b.const1()
+    b.output(b.not_(c))
+    nl = b.done()
+    levels = levelize(nl)
+    assert sum(len(lvl) for lvl in levels) == 1
+
+
+def test_empty_netlist():
+    b = NetlistBuilder()
+    b.input("a")
+    assert levelize(b.netlist) == []

@@ -1,0 +1,92 @@
+"""Unit + property tests for the LFSR and TPGR pattern sources."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpg.lfsr import LFSR, PRIMITIVE_TAPS
+from repro.tpg.tpgr import TPGR
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("length", [3, 4, 5, 6, 7, 8, 9, 10])
+    def test_primitive_polynomials_have_maximal_period(self, length):
+        lfsr = LFSR(length, seed=1)
+        assert lfsr.period_check() == (1 << length) - 1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+
+    def test_unknown_length_needs_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(13)
+        LFSR(13, taps=(13, 4, 3, 1))  # ok with explicit taps
+
+    def test_bad_tap_positions_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(8, taps=(9,))
+
+    def test_deterministic(self):
+        a = LFSR(16, seed=0xACE1)
+        b = LFSR(16, seed=0xACE1)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_next_word_lsb_first(self):
+        a = LFSR(16, seed=0xACE1)
+        word = a.next_word(4)
+        c = LFSR(16, seed=0xACE1)
+        expected = sum(c.step() << i for i in range(4))
+        assert word == expected
+
+    def test_words_shape_and_range(self):
+        arr = LFSR(20, seed=7).words(50, 4)
+        assert arr.shape == (50,)
+        assert arr.dtype == np.int64
+        assert ((arr >= 0) & (arr < 16)).all()
+
+    @given(st.integers(1, 2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_state_stays_nonzero(self, seed):
+        lfsr = LFSR(16, seed=seed)
+        for _ in range(64):
+            lfsr.step()
+            assert lfsr.state != 0
+
+
+class TestTPGR:
+    def test_generates_all_inputs(self):
+        t = TPGR(["a", "b"], width=4, seed=3)
+        data = t.generate(100)
+        assert set(data) == {"a", "b"}
+        assert all(len(v) == 100 for v in data.values())
+        assert all(((v >= 0) & (v < 16)).all() for v in data.values())
+
+    def test_deterministic_per_seed(self):
+        d1 = TPGR(["a"], 4, seed=5).generate(50)
+        d2 = TPGR(["a"], 4, seed=5).generate(50)
+        assert (d1["a"] == d2["a"]).all()
+
+    def test_different_seeds_differ(self):
+        d1 = TPGR(["a"], 4, seed=5).generate(50)
+        d2 = TPGR(["a"], 4, seed=6).generate(50)
+        assert (d1["a"] != d2["a"]).any()
+
+    def test_stream_continues_across_calls(self):
+        t = TPGR(["a"], 4, seed=5)
+        first = t.generate(10)["a"]
+        second = t.generate(10)["a"]
+        combined = TPGR(["a"], 4, seed=5).generate(20)["a"]
+        assert (np.concatenate([first, second]) == combined).all()
+
+    def test_almost_zero_seed(self):
+        t = TPGR.almost_zero_seed(["a"], 4)
+        assert t.seed == 1
+        data = t.generate(20)
+        # A near-zero seed produces a long run of zeros first.
+        assert data["a"][0] == 0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            TPGR([], 4)

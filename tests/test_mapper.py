@@ -1,0 +1,93 @@
+"""Unit + property tests for SOP technology mapping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.simulator import CycleSimulator
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.synth.cubes import Cube, cover_eval
+from repro.synth.mapper import map_sop
+
+N = 4
+cube_st = st.builds(
+    lambda care, sub: Cube(sub & care, care),
+    st.integers(0, (1 << N) - 1),
+    st.integers(0, (1 << N) - 1),
+)
+
+
+def _map_and_simulate(covers: dict, max_fanin=4, share_inverters=False):
+    b = NetlistBuilder()
+    var_nets = [b.input(f"v{i}") for i in range(N)]
+    out_nets = {name: b.net(f"out_{name}") for name in covers}
+    map_sop(b, var_nets, covers, out_nets, max_fanin=max_fanin,
+            share_inverters=share_inverters)
+    for n in out_nets.values():
+        b.output(n)
+    nl = b.done()
+    sim = CycleSimulator(nl, 1 << N)
+    for i, net in enumerate(var_nets):
+        sim.drive(net, [(m >> i) & 1 for m in range(1 << N)])
+    sim.settle()
+    return nl, {name: sim.sample(net) for name, net in out_nets.items()}
+
+
+class TestMapping:
+    @given(st.lists(cube_st, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_with_cover_eval(self, cover):
+        _, got = _map_and_simulate({"f": cover})
+        for m in range(1 << N):
+            assert got["f"][m] == int(cover_eval(cover, m))
+
+    def test_empty_cover_is_const0(self):
+        nl, got = _map_and_simulate({"f": []})
+        assert (got["f"] == 0).all()
+        assert any(g.gtype is GateType.CONST0 for g in nl.gates)
+
+    def test_universal_cube_is_const1(self):
+        nl, got = _map_and_simulate({"f": [Cube(0, 0)]})
+        assert (got["f"] == 1).all()
+
+    def test_single_literal_cover_gets_buffer(self):
+        cover = [Cube.from_string("1---")]
+        nl, got = _map_and_simulate({"f": cover})
+        assert any(g.gtype is GateType.BUF for g in nl.gates)
+        for m in range(16):
+            assert got["f"][m] == (m & 1)
+
+    def test_fanin_decomposition(self):
+        # A 4-literal cube with max_fanin=2 forces an AND tree.
+        cover = [Cube.from_string("1111")]
+        nl, got = _map_and_simulate({"f": cover}, max_fanin=2)
+        and_gates = [g for g in nl.gates if g.gtype is GateType.AND]
+        assert len(and_gates) >= 2
+        assert all(len(g.inputs) <= 2 for g in and_gates)
+        assert got["f"][15] == 1 and got["f"][7] == 0
+
+    def test_per_output_inverters_by_default(self):
+        cover = [Cube.from_string("0---")]
+        b = NetlistBuilder()
+        var_nets = [b.input(f"v{i}") for i in range(N)]
+        outs = {"f": b.net("f"), "g": b.net("g")}
+        map_sop(b, var_nets, {"f": cover, "g": cover}, outs)
+        n_inverters = sum(1 for g in b.netlist.gates if g.gtype is GateType.NOT)
+        assert n_inverters == 2
+
+    def test_shared_inverters_option(self):
+        cover = [Cube.from_string("0---")]
+        b = NetlistBuilder()
+        var_nets = [b.input(f"v{i}") for i in range(N)]
+        outs = {"f": b.net("f"), "g": b.net("g")}
+        map_sop(b, var_nets, {"f": cover, "g": cover}, outs, share_inverters=True)
+        n_inverters = sum(1 for g in b.netlist.gates if g.gtype is GateType.NOT)
+        assert n_inverters == 1
+
+    def test_gates_tagged(self):
+        _, _ = _map_and_simulate({"f": [Cube.from_string("11--")]})
+        b = NetlistBuilder()
+        var_nets = [b.input(f"v{i}") for i in range(N)]
+        map_sop(b, var_nets, {"f": [Cube.from_string("11--")]}, {"f": b.net("f")},
+                tag="mytag")
+        assert all(g.tag == "mytag" for g in b.netlist.gates)

@@ -1,0 +1,99 @@
+"""Unit tests for the flat netlist data structure."""
+
+import pytest
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+@pytest.fixture
+def simple():
+    nl = Netlist(name="t")
+    a = nl.add_net("a")
+    b = nl.add_net("b")
+    y = nl.add_net("y")
+    nl.mark_input(a)
+    nl.mark_input(b)
+    nl.add_gate(GateType.AND, y, [a, b], name="g0", tag="blk")
+    nl.mark_output(y)
+    return nl
+
+
+class TestNets:
+    def test_ids_sequential(self, simple):
+        assert simple.net_id("a") == 0
+        assert simple.net_id("y") == 2
+        assert simple.num_nets == 3
+
+    def test_duplicate_name_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.add_net("a")
+
+    def test_unknown_name(self, simple):
+        with pytest.raises(NetlistError):
+            simple.net_id("zzz")
+        assert not simple.has_net("zzz")
+
+
+class TestGates:
+    def test_driver_lookup(self, simple):
+        g = simple.driver_of(simple.net_id("y"))
+        assert g is not None and g.name == "g0" and g.tag == "blk"
+        assert simple.driver_of(simple.net_id("a")) is None
+
+    def test_double_driver_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.add_gate(GateType.OR, simple.net_id("y"), [0, 1])
+
+    def test_bad_arity_rejected(self, simple):
+        n = simple.add_net("z")
+        with pytest.raises(NetlistError):
+            simple.add_gate(GateType.NOT, n, [0, 1])
+
+    def test_out_of_range_net(self, simple):
+        n = simple.add_net("z")
+        with pytest.raises(NetlistError):
+            simple.add_gate(GateType.BUF, n, [99])
+
+
+class TestPorts:
+    def test_gate_driven_net_cannot_be_input(self, simple):
+        with pytest.raises(NetlistError):
+            simple.mark_input(simple.net_id("y"))
+
+    def test_mark_output_idempotent(self, simple):
+        y = simple.net_id("y")
+        simple.mark_output(y)
+        assert simple.outputs.count(y) == 1
+
+
+class TestValidate:
+    def test_valid(self, simple):
+        simple.validate()
+
+    def test_floating_net_detected(self, simple):
+        z = simple.add_net("z")
+        q = simple.add_net("q")
+        simple.add_gate(GateType.BUF, q, [z])
+        with pytest.raises(NetlistError, match="floating"):
+            simple.validate()
+
+
+class TestQueries:
+    def test_fanout_map(self, simple):
+        fan = simple.fanout_map()
+        assert fan[simple.net_id("a")] == [(0, 0)]
+        assert fan[simple.net_id("b")] == [(0, 1)]
+        assert fan[simple.net_id("y")] == []
+
+    def test_gates_with_tag(self, simple):
+        assert len(simple.gates_with_tag("blk")) == 1
+        assert simple.gates_with_tag("other") == []
+
+    def test_stats(self, simple):
+        s = simple.stats()
+        assert s["AND"] == 1 and s["gates"] == 1 and s["inputs"] == 2
+
+    def test_partitions(self, simple):
+        assert simple.sequential_gates() == []
+        assert len(simple.combinational_gates()) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the switched-capacitance power model."""
+
+import numpy as np
+import pytest
+
+from repro.logic.simulator import CycleSimulator
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.power.estimator import PowerEstimator
+from repro.power.library import DEFAULT_LIBRARY, PowerLibrary
+
+
+def _toggler():
+    """One inverter (tag 'dp') + one DFF (tag 'ctrl')."""
+    b = NetlistBuilder()
+    a = b.input("a")
+    y = b.not_(a, output=b.net("y"), tag="dp:inv")
+    q = b.dff(y, output=b.net("q"), tag="ctrl")
+    b.output(q)
+    return b.done(), a, y
+
+
+class TestEstimator:
+    def test_requires_toggle_counting(self):
+        nl, a, y = _toggler()
+        sim = CycleSimulator(nl, 1)
+        est = PowerEstimator(nl)
+        with pytest.raises(ValueError, match="not counting"):
+            est.power(sim)
+
+    def test_requires_cycles(self):
+        nl, a, y = _toggler()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        est = PowerEstimator(nl)
+        with pytest.raises(ValueError, match="no cycles"):
+            est.power(sim)
+
+    def test_static_input_only_clock_power(self):
+        nl, a, y = _toggler()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        for _ in range(4):
+            sim.drive_const(a, 0)
+            sim.settle()
+            sim.latch()
+        est = PowerEstimator(nl)
+        # y toggles X->0 once (not counted); only the DFF clock burns power.
+        res = est.power(sim)
+        assert res.switching_uw == 0.0
+        assert res.clock_uw > 0.0
+
+    def test_switching_energy_proportional_to_toggles(self):
+        nl, a, y = _toggler()
+
+        def run(bits):
+            sim = CycleSimulator(nl, 1, count_toggles=True)
+            for bit in bits:
+                sim.drive_const(a, bit)
+                sim.settle()
+                sim.latch()
+            return PowerEstimator(nl).power(sim).switching_uw
+
+        # Same cycle count, different toggle counts.
+        low = run([0, 0, 0, 1])
+        high = run([0, 1, 0, 1])
+        assert high > low > 0
+
+    def test_tag_filter_restricts(self):
+        nl, a, y = _toggler()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        for bit in [0, 1, 0, 1]:
+            sim.drive_const(a, bit)
+            sim.settle()
+            sim.latch()
+        est = PowerEstimator(nl)
+        total = est.power(sim, tag_prefix=None).total_uw
+        dp = est.power(sim, tag_prefix="dp").total_uw
+        ctrl = est.power(sim, tag_prefix="ctrl").total_uw
+        assert dp > 0 and ctrl > 0
+        # Untagged primary-input nets account for the remainder.
+        assert dp + ctrl <= total + 1e-9
+
+    def test_by_tag_sums_to_total(self):
+        nl, a, y = _toggler()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        for bit in [0, 1, 1, 0]:
+            sim.drive_const(a, bit)
+            sim.settle()
+            sim.latch()
+        res = PowerEstimator(nl).power(sim)
+        assert abs(sum(res.by_tag.values()) - res.total_uw) < 1e-9
+
+    def test_custom_library_scales(self):
+        nl, a, y = _toggler()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        for bit in [0, 1, 0]:
+            sim.drive_const(a, bit)
+            sim.settle()
+            sim.latch()
+        base = PowerEstimator(nl).power(sim).total_uw
+        doubled_lib = PowerLibrary(cal_scale=DEFAULT_LIBRARY.cal_scale * 2)
+        doubled = PowerEstimator(nl, doubled_lib).power(sim).total_uw
+        assert abs(doubled - 2 * base) < 1e-9
+
+    def test_dffe_clock_power_counts_enabled_cycles_only(self):
+        b = NetlistBuilder()
+        en, d = b.input("en"), b.input("d")
+        b.output(b.dffe(en, d, output=b.net("q"), tag="dp:reg"))
+        nl = b.done()
+
+        def run(en_bits):
+            sim = CycleSimulator(nl, 1, count_toggles=True)
+            for e in en_bits:
+                sim.drive_const(en, e)
+                sim.drive_const(d, 0)
+                sim.settle()
+                sim.latch()
+            return PowerEstimator(nl).power(sim).clock_uw
+
+        assert run([1, 1, 1, 1]) > run([1, 0, 0, 0]) > run([0, 0, 0, 0]) == 0.0
+
+
+class TestMonteCarlo:
+    def test_converges_and_is_deterministic(self, facet_system):
+        from repro.power.montecarlo import monte_carlo_power
+
+        est = PowerEstimator(facet_system.netlist)
+        a = monte_carlo_power(facet_system, est, seed=5, batch_patterns=64, max_batches=4)
+        b = monte_carlo_power(facet_system, est, seed=5, batch_patterns=64, max_batches=4)
+        assert a.power_uw == b.power_uw
+        assert a.batches <= 4
+        assert a.power_uw > 0
+
+    def test_measure_power_with_fixed_data(self, facet_system):
+        from repro.power.montecarlo import measure_power
+
+        est = PowerEstimator(facet_system.netlist)
+        data = {k: np.arange(32) % 16 for k in facet_system.rtl.dfg.inputs}
+        res = measure_power(facet_system, est, data)
+        assert res.total_uw > 0
+        assert res.patterns == 32

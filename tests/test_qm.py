@@ -1,0 +1,119 @@
+"""Unit + property tests for the two-level minimiser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.cubes import Cube, cover_eval
+from repro.synth.qm import (
+    cleanup_cover,
+    minimize,
+    minimize_exact,
+    prime_implicants,
+    verify_cover,
+)
+
+
+class TestPrimeImplicants:
+    def test_classic_example(self):
+        # f(a,b) = a'b + ab + ab' = a + b ; primes: a, b
+        onset = {0b01, 0b11, 0b10}
+        primes = prime_implicants(2, onset, set())
+        strings = {p.to_string(2) for p in primes}
+        assert strings == {"1-", "-1"}
+
+    def test_dc_extends_primes(self):
+        # onset {11}, dc {10} -> prime 1- exists
+        primes = prime_implicants(2, {0b11}, {0b01})
+        assert Cube.from_string("1-") in primes
+
+    def test_isolated_minterm_is_prime(self):
+        primes = prime_implicants(3, {0b101}, set())
+        assert primes == [Cube(0b101, 0b111)]
+
+
+class TestMinimizeExact:
+    def test_empty_onset(self):
+        assert minimize_exact(3, set(), set()) == []
+
+    def test_tautology(self):
+        assert minimize_exact(2, {0, 1, 2, 3}, set()) == [Cube(0, 0)]
+
+    def test_tautology_with_dc(self):
+        assert minimize_exact(2, {0, 3}, {1, 2}) == [Cube(0, 0)]
+
+    def test_xor_needs_two_cubes(self):
+        onset = {0b01, 0b10}
+        cover = minimize_exact(2, onset, set())
+        assert len(cover) == 2
+        assert verify_cover(2, cover, onset, {0b00, 0b11})
+
+    def test_classic_4var(self):
+        # f = sum m(0,1,2,5,6,7,8,9,10,14) -- a standard QM exercise.
+        onset = {0, 1, 2, 5, 6, 7, 8, 9, 10, 14}
+        offset = set(range(16)) - onset
+        cover = minimize_exact(4, onset, set())
+        assert verify_cover(4, cover, onset, offset)
+        assert len(cover) <= 5
+
+    @given(
+        st.sets(st.integers(0, 31), max_size=20),
+        st.sets(st.integers(0, 31), max_size=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_implements_function(self, onset, dc):
+        dc = dc - onset
+        cover = minimize_exact(5, onset, dc)
+        offset = set(range(32)) - onset - dc
+        assert verify_cover(5, cover, onset, offset)
+
+    @given(st.sets(st.integers(0, 15), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_no_worse_than_minterm_cover(self, onset):
+        cover = minimize_exact(4, onset, set())
+        assert len(cover) <= len(onset)
+
+
+class TestCleanupCover:
+    def test_absorbs_contained(self):
+        cover = [Cube.from_string("1--"), Cube.from_string("11-")]
+        out = cleanup_cover(cover, {1, 3, 5, 7}, set())
+        assert out == [Cube.from_string("1--")]
+
+    def test_merges_distance_one(self):
+        cover = [Cube.from_string("110"), Cube.from_string("111")]
+        out = cleanup_cover(cover, {0b011, 0b111}, set())
+        assert out == [Cube.from_string("11-")]
+
+    @given(
+        st.lists(
+            st.builds(
+                lambda care, sub: Cube(sub & care, care),
+                st.integers(0, 15),
+                st.integers(0, 15),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_preserves_function(self, cover):
+        onset = {m for m in range(16) if cover_eval(cover, m)}
+        out = cleanup_cover(cover, onset, set())
+        for m in range(16):
+            assert cover_eval(out, m) == (m in onset)
+
+
+class TestDispatch:
+    def test_small_uses_exact(self):
+        cover = minimize(3, {0b111}, set())
+        assert cover == [Cube(0b111, 0b111)]
+
+    def test_large_without_seed_rejected(self):
+        with pytest.raises(ValueError):
+            minimize(20, {1}, set())
+
+    def test_large_with_seed_cleans(self):
+        seed = [Cube.from_string("1" + "-" * 19)]
+        out = minimize(20, set(), set(), seed_cover=seed)
+        assert out  # passes through the heuristic path

@@ -1,0 +1,94 @@
+"""Tests for the table/figure rendering layer."""
+
+import pytest
+
+from repro.core.grading import GradedFault, GradingResult, Table3Row
+from repro.core.pipeline import FaultRecord, PipelineResult
+from repro.core.report import (
+    figure7_series,
+    render_figure7,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_rows,
+    table2_rows,
+)
+
+
+def _fake_grading(facet_pipeline):
+    """Grading result with synthetic power numbers (no simulation)."""
+    graded = []
+    for i, rec in enumerate(facet_pipeline.sfr_records[:6]):
+        group = "load" if rec.classification.affects_load_line else "select"
+        pct = (-3.0 + 2.5 * i)
+        graded.append(
+            GradedFault(record=rec, power_uw=1000.0 * (1 + pct / 100), pct_change=pct, group=group)
+        )
+    graded.sort(key=lambda g: (g.group != "select", g.power_uw))
+    return GradingResult(design="facet", fault_free_uw=1000.0, threshold=0.05, graded=graded)
+
+
+class TestGenericTable:
+    def test_render_table_alignment(self):
+        text = render_table(["A", "Blong"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+
+class TestTable1:
+    def test_rows_start_with_fault_free(self, facet_pipeline):
+        g = _fake_grading(facet_pipeline)
+        rows = table1_rows(g, g.graded[:3])
+        assert rows[0]["fault"] == "fault-free"
+        assert rows[0]["pct"] is None
+        assert len(rows) == 4
+
+    def test_render_contains_effects(self, facet_pipeline):
+        g = _fake_grading(facet_pipeline)
+        text = render_table1(g, g.graded[:2])
+        assert "Table 1" in text
+        assert "Power mW" in text
+
+
+class TestTable2:
+    def test_rows(self, facet_pipeline):
+        rows = table2_rows([facet_pipeline])
+        assert rows[0]["design"] == "facet"
+
+    def test_render(self, facet_pipeline):
+        text = render_table2([facet_pipeline])
+        assert "Total Faults" in text and "facet" in text
+
+
+class TestTable3:
+    def test_render(self):
+        rows = [
+            Table3Row("fault-free", 1000.0, [990.0, 1010.0]),
+            Table3Row("f1", 1100.0, [1090.0, 1111.0], 10.0, [10.1, 10.0]),
+        ]
+        text = render_table3(rows, "diffeq")
+        assert "Test set 1" in text and "Test set 2" in text
+        assert "(+10.10%)" in text
+
+
+class TestFigure7:
+    def test_series_flags(self, facet_pipeline):
+        g = _fake_grading(facet_pipeline)
+        series = figure7_series(g)
+        assert len(series) == len(g.graded)
+        for s, gf in zip(series, g.graded):
+            assert s["detected"] == (abs(gf.pct_change) > 5.0)
+
+    def test_render_has_band_markers(self, facet_pipeline):
+        g = _fake_grading(facet_pipeline)
+        text = render_figure7(g)
+        assert "[" in text and "]" in text and "|" in text
+        assert "Figure 7" in text
+
+    def test_render_empty(self):
+        g = GradingResult(design="x", fault_free_uw=1.0, threshold=0.05, graded=[])
+        assert "no SFR faults" in render_figure7(g)

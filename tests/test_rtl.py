@@ -1,0 +1,116 @@
+"""Unit tests for the RTL design model's activity queries."""
+
+import pytest
+
+from repro.designs.catalog import build_rtl
+from repro.hls.rtl import (
+    HOLD_STATE,
+    RESET_STATE,
+    MuxSpec,
+    Source,
+    cs_state,
+    state_names,
+)
+
+
+@pytest.fixture(scope="module")
+def rtl():
+    return build_rtl("diffeq")
+
+
+class TestStateNames:
+    def test_layout(self):
+        assert state_names(2) == ["RESET", "CS1", "CS2", "HOLD"]
+        assert cs_state(3) == "CS3"
+
+
+class TestMuxSpec:
+    def test_sel_bits(self):
+        m = MuxSpec("m", [Source("reg", "A")])
+        assert m.n_sel_bits == 0
+        m2 = MuxSpec("m2", [Source("reg", x) for x in "ABC"])
+        assert m2.n_sel_bits == 2
+
+    def test_sel_bits_for(self):
+        m = MuxSpec("m", [Source("reg", x) for x in "ABCD"],
+                    sel_names=["MS1", "MS2"])
+        assert m.sel_bits_for(2) == {"MS1": 0, "MS2": 1}
+
+    def test_source_index(self):
+        m = MuxSpec("m", [Source("reg", "A"), Source("fu", "MUL1")])
+        assert m.source_index(Source("fu", "MUL1")) == 1
+
+
+class TestLookups:
+    def test_register_lookup(self, rtl):
+        assert rtl.register("REG1").name == "REG1"
+        with pytest.raises(KeyError):
+            rtl.register("REG99")
+
+    def test_fu_lookup(self, rtl):
+        assert rtl.fu("MUL1").name == "MUL1"
+        with pytest.raises(KeyError):
+            rtl.fu("DIV1")
+
+    def test_mux_of_sel(self, rtl):
+        for sel in rtl.sel_lines:
+            mux = rtl.mux_of_sel(sel)
+            assert sel in mux.sel_names
+        with pytest.raises(KeyError):
+            rtl.mux_of_sel("MS99")
+
+    def test_all_muxes_count(self, rtl):
+        assert len(rtl.all_muxes()) == 2 * len(rtl.fus) + len(rtl.registers)
+
+
+class TestActivity:
+    def test_ops_in_state(self, rtl):
+        for state in rtl.states:
+            ops = rtl.ops_in_state(state)
+            if state in (RESET_STATE, HOLD_STATE):
+                assert ops == []
+            else:
+                step = int(state[2:])
+                assert all(b.step == step for b in ops)
+
+    def test_mux_active_states_fu_ports(self, rtl):
+        mul = rtl.fu("MUL1")
+        active = rtl.mux_active_states(mul.mux_a)
+        expected = {cs_state(b.step) for b in rtl.bindings.values() if b.fu == "MUL1"}
+        assert active == expected
+
+    def test_mux_active_states_register_inputs(self, rtl):
+        reg = rtl.register(rtl.value_reg["x"])
+        active = rtl.mux_active_states(reg.input_mux)
+        assert RESET_STATE in active  # loads its input there
+        assert HOLD_STATE not in active
+
+    def test_reg_load_states_match_control_table(self, rtl):
+        for r in rtl.registers:
+            states = rtl.reg_load_states(r.name)
+            for s in rtl.states:
+                assert (s in states) == bool(rtl.control.loads[s][r.load_line])
+
+    def test_output_register_read_in_hold(self, rtl):
+        out_reg = rtl.outputs["y_out"]
+        assert HOLD_STATE in rtl.reg_read_states(out_reg)
+
+    def test_comparator_operand_read_at_decision(self, rtl):
+        # CMP1 reads the x register at the decision step.
+        x_reg = rtl.value_reg["x"]
+        assert cs_state(rtl.cond_step) in rtl.reg_read_states(x_reg)
+
+    def test_summary_mentions_counts(self, rtl):
+        text = rtl.summary()
+        assert f"{len(rtl.registers)} registers" in text
+        assert f"{rtl.schedule.n_steps} control steps" in text
+
+
+class TestControlTable:
+    def test_control_lines_complete(self, rtl):
+        lines = rtl.control.control_lines()
+        assert set(lines) == set(rtl.load_lines) | set(rtl.sel_lines)
+
+    def test_line_value_dispatch(self, rtl):
+        assert rtl.control.line_value(RESET_STATE, "LD1") in (0, 1)
+        assert rtl.control.line_value(HOLD_STATE, rtl.sel_lines[0]) is None

@@ -1,0 +1,112 @@
+"""Unit tests for list scheduling."""
+
+import pytest
+
+from repro.designs.diffeq import diffeq_dfg
+from repro.hls.dfg import DFG, DFGError, OpKind
+from repro.hls.schedule import alap_steps, asap_steps, list_schedule
+
+
+def _chain():
+    d = DFG("c", 4, inputs=["a"])
+    d.op("t1", OpKind.ADD, "a", "a")
+    d.op("t2", OpKind.ADD, "t1", "a")
+    d.op("t3", OpKind.ADD, "t2", "a")
+    d.outputs = {"o": "t3"}
+    return d
+
+
+def _parallel():
+    d = DFG("p", 4, inputs=["a", "b"])
+    d.op("t1", OpKind.MUL, "a", "b")
+    d.op("t2", OpKind.MUL, "a", "a")
+    d.op("t3", OpKind.MUL, "b", "b")
+    d.op("s", OpKind.ADD, "t1", "t2")
+    d.outputs = {"o": "s", "o2": "t3"}
+    return d
+
+
+class TestASAPALAP:
+    def test_asap_chain(self):
+        assert asap_steps(_chain()) == {"t1": 1, "t2": 2, "t3": 3}
+
+    def test_alap_leaves_slack(self):
+        d = _parallel()
+        asap = asap_steps(d)
+        alap = alap_steps(d, horizon=3)
+        assert asap["t3"] == 1 and alap["t3"] == 3  # t3 has slack
+        assert alap["s"] == 3
+
+    def test_alap_never_before_asap(self):
+        d = diffeq_dfg()
+        asap = asap_steps(d)
+        alap = alap_steps(d, horizon=max(asap.values()))
+        for op in d.ops:
+            assert asap[op.name] <= alap[op.name]
+
+
+class TestListSchedule:
+    def test_dependencies_respected(self):
+        d = _chain()
+        s = list_schedule(d, resources={})
+        assert s.steps["t1"] < s.steps["t2"] < s.steps["t3"]
+
+    def test_resource_limits_respected(self):
+        d = _parallel()
+        s = list_schedule(d, resources={OpKind.MUL: 1})
+        per_step = {}
+        for op in d.ops:
+            if op.kind is OpKind.MUL:
+                per_step.setdefault(s.steps[op.name], 0)
+                per_step[s.steps[op.name]] += 1
+        assert max(per_step.values()) == 1
+
+    def test_more_resources_shorter_schedule(self):
+        d = _parallel()
+        slow = list_schedule(d, resources={OpKind.MUL: 1})
+        fast = list_schedule(d, resources={OpKind.MUL: 3})
+        assert fast.n_steps <= slow.n_steps
+
+    def test_anti_dependence_for_loop_updates(self):
+        d = DFG("l", 4, inputs=["x", "a"])
+        d.op("use", OpKind.MUL, "x", "a")  # reads old x
+        d.op("x1", OpKind.ADD, "x", "a")  # produces new x
+        d.op("c", OpKind.LT, "x1", "a")
+        d.op("z", OpKind.SUB, "use", "x1")
+        d.outputs = {"o": "z"}
+        d.loop_condition = "c"
+        d.loop_updates = {"x": "x1"}
+        s = list_schedule(d, resources={})
+        assert s.steps["x1"] >= s.steps["use"]
+
+    def test_cond_forced_last_own_step(self):
+        d = diffeq_dfg()
+        s = list_schedule(d, resources={OpKind.MUL: 1})
+        cond_step = s.steps["c"]
+        assert cond_step == s.n_steps
+        assert all(step < cond_step for name, step in s.steps.items() if name != "c")
+
+    def test_cond_shared_final_step(self):
+        d = diffeq_dfg()
+        s = list_schedule(d, resources={OpKind.MUL: 1}, cond_own_step=False)
+        assert s.steps["c"] == s.n_steps
+        others_last = max(step for name, step in s.steps.items() if name != "c")
+        assert s.steps["c"] == others_last  # shares the final step
+
+    def test_ops_in_step(self):
+        d = _chain()
+        s = list_schedule(d, resources={})
+        assert [o.name for o in s.ops_in_step(d, 1)] == ["t1"]
+
+    def test_overconstrained_loop_rejected(self):
+        # c reads the *old* x (anti-dep: c before x1) but also depends on
+        # x1 (data dep: c after x1) -- an unschedulable constraint cycle.
+        d = DFG("bad", 4, inputs=["x"])
+        d.op("u", OpKind.ADD, "x", "x")
+        d.op("x1", OpKind.ADD, "u", "x")
+        d.op("c", OpKind.LT, "x1", "x")
+        d.outputs = {"o": "u"}
+        d.loop_condition = "c"
+        d.loop_updates = {"x": "x1"}
+        with pytest.raises(DFGError, match="cyclic"):
+            list_schedule(d, resources={})

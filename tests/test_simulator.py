@@ -1,0 +1,251 @@
+"""Unit + property tests for the pattern-parallel cycle simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.faults import FaultSite
+from repro.logic.simulator import CycleSimulator
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType, eval_gate_ints
+
+
+def _comb_netlist():
+    """y = (a & b) ^ ~c ; z = mux(a, b, c)."""
+    b = NetlistBuilder()
+    a, c, d = b.input("a"), b.input("b"), b.input("c")
+    y = b.xor_([b.and_([a, c]), b.not_(d)], output=b.net("y"))
+    z = b.mux2_(a, c, d, output=b.net("z"))
+    b.output(y)
+    b.output(z)
+    return b.done(), (a, c, d), (y, z)
+
+
+class TestCombinational:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)),
+            min_size=1,
+            max_size=130,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference(self, rows):
+        nl, (a, c, d), (y, z) = _comb_netlist()
+        sim = CycleSimulator(nl, len(rows))
+        sim.drive(a, [r[0] for r in rows])
+        sim.drive(c, [r[1] for r in rows])
+        sim.drive(d, [r[2] for r in rows])
+        sim.settle()
+        got_y = sim.sample(y)
+        got_z = sim.sample(z)
+        for p, (va, vb, vc) in enumerate(rows):
+            ref_y = (va & vb) ^ (1 - vc)
+            ref_z = vc if va else vb
+            assert got_y[p] == ref_y
+            assert got_z[p] == ref_z
+
+    def test_unknown_inputs_propagate_x(self):
+        nl, (a, c, d), (y, z) = _comb_netlist()
+        sim = CycleSimulator(nl, 4)
+        sim.drive_const(a, 1)  # b, c left undriven -> X
+        sim.settle()
+        assert (sim.sample(y) == -1).all()
+
+    def test_and_with_controlling_zero_kills_x(self):
+        b = NetlistBuilder()
+        a, c = b.input("a"), b.input("c")
+        y = b.and_([a, c])
+        b.output(y)
+        nl = b.done()
+        sim = CycleSimulator(nl, 2)
+        sim.drive_const(a, 0)  # c is X
+        sim.settle()
+        assert (sim.sample(y) == 0).all()
+
+
+class TestSequential:
+    def _counter(self):
+        """2-bit counter built from XOR/AND + DFFs, reset via input."""
+        b = NetlistBuilder()
+        rst = b.input("rst")
+        q0, q1 = b.net("q0"), b.net("q1")
+        nrst = b.not_(rst)
+        d0 = b.and_([b.not_(q0), nrst])
+        d1 = b.and_([b.xor_([q0, q1]), nrst])
+        b.dff(d0, output=q0)
+        b.dff(d1, output=q1)
+        b.output(q0)
+        b.output(q1)
+        return b.done(), rst, (q0, q1)
+
+    def test_counter_counts(self):
+        nl, rst, (q0, q1) = self._counter()
+        sim = CycleSimulator(nl, 1)
+        seq = []
+        for cyc in range(6):
+            sim.drive_const(rst, 1 if cyc == 0 else 0)
+            sim.settle()
+            sim.latch()
+            seq.append((int(sim.sample(q0)[0]), int(sim.sample(q1)[0])))
+        # after reset: 00 -> 10 -> 01 -> 11 -> 00 ...
+        assert seq[:5] == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 0)]
+
+    def test_flipflops_power_up_x(self):
+        nl, rst, (q0, q1) = self._counter()
+        sim = CycleSimulator(nl, 3)
+        assert (sim.sample(q0) == -1).all()
+
+    def test_dffe_holds_when_disabled(self):
+        b = NetlistBuilder()
+        en, d = b.input("en"), b.input("d")
+        q = b.dffe(en, d, output=b.net("q"))
+        b.output(q)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1)
+        sim.drive_const(en, 1)
+        sim.drive_const(d, 1)
+        sim.settle(); sim.latch()
+        assert sim.sample(q)[0] == 1
+        sim.drive_const(en, 0)
+        sim.drive_const(d, 0)
+        sim.settle(); sim.latch()
+        assert sim.sample(q)[0] == 1  # held
+
+    def test_dffe_x_enable_keeps_equal_value(self):
+        b = NetlistBuilder()
+        en, d = b.input("en"), b.input("d")
+        q = b.dffe(en, d, output=b.net("q"))
+        b.output(q)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1)
+        sim.drive_const(en, 1)
+        sim.drive_const(d, 1)
+        sim.settle(); sim.latch()
+        # en X, d == q -> q stays 1; then d != q -> q becomes X
+        sim.drive_words(en, np.zeros(1, np.uint64), np.zeros(1, np.uint64))
+        sim.settle(); sim.latch()
+        assert sim.sample(q)[0] == 1
+        sim.drive_const(d, 0)
+        sim.settle(); sim.latch()
+        assert sim.sample(q)[0] == -1
+
+
+class TestToggleCounting:
+    def test_exact_toggles(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        y = b.not_(a, output=b.net("y"))
+        b.output(y)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        for bit in [0, 1, 1, 0, 1]:
+            sim.drive_const(a, bit)
+            sim.settle()
+            sim.latch()
+        # a toggles 0->1,1->0,0->1 = 3; y the same count.
+        assert sim.toggles[a] == 3
+        assert sim.toggles[y] == 3
+
+    def test_x_transitions_not_counted(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        y = b.buf_(a, output=b.net("y"))
+        b.output(y)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1, count_toggles=True)
+        sim.settle(); sim.latch()  # X
+        sim.drive_const(a, 1)
+        sim.settle(); sim.latch()  # X -> 1 : not a toggle
+        assert sim.toggles[y] == 0
+
+    def test_load_events_counted_per_dffe(self):
+        b = NetlistBuilder()
+        en, d = b.input("en"), b.input("d")
+        b.output(b.dffe(en, d, output=b.net("q")))
+        nl = b.done()
+        sim = CycleSimulator(nl, 2, count_toggles=True)
+        sim.drive(en, [1, 0])
+        sim.drive_const(d, 1)
+        for _ in range(3):
+            sim.settle()
+            sim.latch()
+        assert sim.load_events[0] == 3  # one enabled pattern x 3 cycles
+
+
+class TestFaultInjection:
+    def test_stem_fault_forces_net(self):
+        nl, (a, c, d), (y, z) = _comb_netlist()
+        g = nl.driver_of(y)
+        sim = CycleSimulator(nl, 4, faults=[FaultSite(g.index, -1, y, 1)])
+        sim.drive(a, [0, 0, 1, 1])
+        sim.drive(c, [0, 1, 0, 1])
+        sim.drive(d, [1, 1, 1, 1])
+        sim.settle()
+        assert (sim.sample(y) == 1).all()
+
+    def test_branch_fault_affects_single_reader(self):
+        b = NetlistBuilder()
+        a = b.input("a")
+        y1 = b.buf_(a, output=b.net("y1"))
+        y2 = b.buf_(a, output=b.net("y2"))
+        b.output(y1)
+        b.output(y2)
+        nl = b.done()
+        g1 = nl.driver_of(y1)
+        sim = CycleSimulator(nl, 2, faults=[FaultSite(g1.index, 0, a, 1)])
+        sim.drive(a, [0, 0])
+        sim.settle()
+        assert (sim.sample(y1) == 1).all()  # poisoned
+        assert (sim.sample(y2) == 0).all()  # untouched
+
+    def test_stem_fault_on_pi(self):
+        nl, (a, c, d), (y, z) = _comb_netlist()
+        sim = CycleSimulator(nl, 2, faults=[FaultSite(None, -1, a, 0)])
+        sim.drive(a, [1, 1])
+        sim.drive(c, [1, 1])
+        sim.drive(d, [0, 1])
+        sim.settle()
+        # a forced 0 -> z = mux(0, b, c) = b = 1
+        assert (sim.sample(z) == 1).all()
+
+    def test_fault_on_dff_output(self):
+        b = NetlistBuilder()
+        d = b.input("d")
+        q = b.dff(d, output=b.net("q"))
+        b.output(q)
+        nl = b.done()
+        g = nl.driver_of(q)
+        sim = CycleSimulator(nl, 1, faults=[FaultSite(g.index, -1, q, 0)])
+        sim.drive_const(d, 1)
+        sim.settle(); sim.latch()
+        sim.settle()
+        assert sim.sample(q)[0] == 0
+
+
+class TestBusHelpers:
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=70))
+    @settings(max_examples=20, deadline=None)
+    def test_drive_sample_bus_roundtrip(self, vals):
+        b = NetlistBuilder()
+        bus_in = b.input_bus("v", 4)
+        bus_out = [b.buf_(n) for n in bus_in]
+        for n in bus_out:
+            b.output(n)
+        nl = b.done()
+        sim = CycleSimulator(nl, len(vals))
+        sim.drive_bus(bus_in, vals)
+        sim.settle()
+        assert list(sim.sample_bus(bus_out)) == vals
+
+    def test_sample_bus_x_is_minus_one(self):
+        b = NetlistBuilder()
+        bus = b.input_bus("v", 4)
+        outs = [b.buf_(n) for n in bus]
+        for n in outs:
+            b.output(n)
+        nl = b.done()
+        sim = CycleSimulator(nl, 1)
+        sim.settle()
+        assert sim.sample_bus(outs)[0] == -1

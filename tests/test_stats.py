@@ -1,0 +1,26 @@
+"""Tests for netlist statistics."""
+
+from repro.netlist.stats import analyze
+
+
+def test_counts(diffeq_system):
+    stats = analyze(diffeq_system.netlist)
+    assert stats.gates == len(diffeq_system.netlist.gates)
+    assert stats.nets == diffeq_system.netlist.num_nets
+    assert stats.flip_flops > 0
+    assert stats.depth > 3
+    assert stats.max_fanout >= 2
+    assert sum(stats.by_type.values()) == stats.gates
+    assert sum(stats.by_tag.values()) == stats.gates
+
+
+def test_tags_partition(diffeq_system):
+    stats = analyze(diffeq_system.netlist)
+    ctrl = sum(v for k, v in stats.by_tag.items() if k.startswith("ctrl"))
+    dp = sum(v for k, v in stats.by_tag.items() if k.startswith("dp"))
+    assert ctrl + dp == stats.gates
+
+
+def test_str_summary(diffeq_system):
+    text = str(analyze(diffeq_system.netlist))
+    assert "gates" in text and "depth" in text

@@ -1,0 +1,131 @@
+"""Unit tests for the symbolic value-numbering replay oracle."""
+
+import pytest
+
+from repro.core.effects import make_scenarios, golden_control_trace
+from repro.core.symbolic import ValueTable, compare_replays, replay
+from repro.hls.dfg import OpKind
+
+
+class TestValueTable:
+    def test_hash_consing(self):
+        t = ValueTable()
+        assert t.input("x") == t.input("x")
+        assert t.input("x") != t.input("y")
+        assert t.const("c") != t.input("c")
+
+    def test_op_identity(self):
+        t = ValueTable()
+        a, b = t.input("a"), t.input("b")
+        assert t.op(OpKind.ADD, a, b) == t.op(OpKind.ADD, a, b)
+
+    def test_commutative_canonicalisation(self):
+        t = ValueTable()
+        a, b = t.input("a"), t.input("b")
+        assert t.op(OpKind.MUL, a, b) == t.op(OpKind.MUL, b, a)
+        assert t.op(OpKind.ADD, a, b) == t.op(OpKind.ADD, b, a)
+
+    def test_noncommutative_order_matters(self):
+        t = ValueTable()
+        a, b = t.input("a"), t.input("b")
+        assert t.op(OpKind.SUB, a, b) != t.op(OpKind.SUB, b, a)
+        assert t.op(OpKind.LT, a, b) != t.op(OpKind.LT, b, a)
+
+    def test_garbage_always_fresh(self):
+        t = ValueTable()
+        assert t.garbage() != t.garbage()
+
+    def test_uninit_keyed_by_register(self):
+        t = ValueTable()
+        assert t.uninit("REG1") == t.uninit("REG1")
+        assert t.uninit("REG1") != t.uninit("REG2")
+
+
+class TestReplay:
+    def test_golden_replay_is_self_equivalent(self, diffeq_system):
+        rtl = diffeq_system.rtl
+        for sc in make_scenarios(rtl):
+            trace = golden_control_trace(diffeq_system.controller, sc)
+            table = ValueTable()
+            g1 = replay(rtl, trace, table)
+            g2 = replay(rtl, trace, table)
+            cmp = compare_replays(g1, g2)
+            assert cmp.equivalent
+
+    def test_golden_outputs_are_not_garbage(self, diffeq_system):
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[0]
+        trace = golden_control_trace(diffeq_system.controller, sc)
+        table = ValueTable()
+        result = replay(rtl, trace, table)
+        assert result.output_samples
+        assert not result.saw_unknown_control
+        # Output at HOLD must be a composed op value, not uninit garbage.
+        uninit_ids = {table.uninit(r.name) for r in rtl.registers}
+        for _, outs in result.output_samples:
+            for vid in outs.values():
+                assert vid not in uninit_ids
+
+    def test_cond_decisions_recorded_per_iteration(self, diffeq_system):
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[2]  # 3 iterations
+        trace = golden_control_trace(diffeq_system.controller, sc)
+        result = replay(rtl, trace, ValueTable())
+        assert len(result.cond_decisions) == 3
+
+    def test_skipped_input_load_changes_outputs(self, diffeq_system):
+        """Forcing a load line low in the last RESET cycle leaves the
+        register at its uninitialised value -> outputs must differ."""
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[0]
+        trace = golden_control_trace(diffeq_system.controller, sc)
+        table = ValueTable()
+        golden = replay(rtl, trace, table)
+        import copy
+
+        broken = copy.deepcopy(trace)
+        y_line = rtl.line_of_register(rtl.value_reg["y"])
+        for cycle in range(sc.first_body_cycle):
+            broken.lines[cycle][y_line] = 0
+        faulty = replay(rtl, broken, table)
+        cmp = compare_replays(golden, faulty)
+        assert not cmp.equivalent
+
+    def test_extra_load_in_hold_is_equivalent(self, diffeq_system):
+        """An extra load of a non-output register during HOLD does not
+        change any observed output (the classic SFR case)."""
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[0]
+        trace = golden_control_trace(diffeq_system.controller, sc)
+        table = ValueTable()
+        golden = replay(rtl, trace, table)
+        import copy
+
+        out_regs = set(rtl.outputs.values())
+        victim = next(
+            r for r in rtl.registers
+            if r.name not in out_regs and len(r.input_mux.sources) == 1
+        )
+        broken = copy.deepcopy(trace)
+        for cycle in range(sc.n_cycles):
+            if sc.golden_state(cycle) == "HOLD":
+                broken.lines[cycle][victim.load_line] = 0 if False else 1
+        faulty = replay(rtl, broken, table)
+        assert compare_replays(golden, faulty).equivalent
+
+    def test_x_load_of_changing_value_flags_unknown(self, diffeq_system):
+        rtl = diffeq_system.rtl
+        sc = make_scenarios(rtl)[0]
+        trace = golden_control_trace(diffeq_system.controller, sc)
+        import copy
+
+        broken = copy.deepcopy(trace)
+        # A temp register fed by a single FU: the incoming op value can
+        # never equal the register's current (uninitialised) content, so an
+        # X load must go conservative.
+        temp = rtl.value_reg["s1"]
+        line = rtl.line_of_register(temp)
+        broken.lines[sc.first_body_cycle][line] = -1
+        table = ValueTable()
+        faulty = replay(rtl, broken, table)
+        assert faulty.saw_unknown_control

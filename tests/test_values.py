@@ -1,0 +1,139 @@
+"""Unit + property tests for the packed 3-valued logic planes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import values as V
+
+# 3-valued scalars: (zero_bit, one_bit); X = (0, 0).
+ZERO, ONE, X = (1, 0), (0, 1), (0, 0)
+TRIT = st.sampled_from([ZERO, ONE, X])
+
+
+def _planes(scalar):
+    z, o = scalar
+    return np.array([z], dtype=np.uint64), np.array([o], dtype=np.uint64)
+
+
+def _scalar(planes):
+    z, o = int(planes[0][0]) & 1, int(planes[1][0]) & 1
+    return (z, o)
+
+
+def _ref_and(a, b):
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return X
+
+
+def _ref_or(a, b):
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return X
+
+
+def _ref_xor(a, b):
+    if X in (a, b):
+        return X
+    return ONE if a != b else ZERO
+
+
+def _ref_mux(s, a, b):
+    if s == ZERO:
+        return a
+    if s == ONE:
+        return b
+    return a if a == b and a != X else X
+
+
+class TestPacking:
+    def test_num_words(self):
+        assert V.num_words(1) == 1
+        assert V.num_words(64) == 1
+        assert V.num_words(65) == 2
+
+    def test_num_words_rejects_zero(self):
+        with pytest.raises(ValueError):
+            V.num_words(0)
+
+    def test_tail_mask(self):
+        m = V.tail_mask(70)
+        assert m[0] == np.uint64(2**64 - 1)
+        assert m[1] == np.uint64(0b111111)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_pack_unpack_roundtrip(self, bits):
+        words = V.pack_bits(bits)
+        assert list(V.unpack_bits(words, len(bits))) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_popcount_matches_sum(self, bits):
+        assert V.popcount(V.pack_bits(bits)) == sum(bits)
+
+
+class TestOps:
+    @given(TRIT, TRIT)
+    def test_and(self, a, b):
+        za, oa = _planes(a)
+        zb, ob = _planes(b)
+        assert _scalar(V.v_and2(za, oa, zb, ob)) == _ref_and(a, b)
+
+    @given(TRIT, TRIT)
+    def test_or(self, a, b):
+        za, oa = _planes(a)
+        zb, ob = _planes(b)
+        assert _scalar(V.v_or2(za, oa, zb, ob)) == _ref_or(a, b)
+
+    @given(TRIT, TRIT)
+    def test_xor(self, a, b):
+        za, oa = _planes(a)
+        zb, ob = _planes(b)
+        assert _scalar(V.v_xor2(za, oa, zb, ob)) == _ref_xor(a, b)
+
+    @given(TRIT)
+    def test_not_involution(self, a):
+        z, o = _planes(a)
+        z2, o2 = V.v_not(*V.v_not(z, o))
+        assert _scalar((z2, o2)) == a
+
+    @given(TRIT, TRIT, TRIT)
+    def test_mux(self, s, a, b):
+        zs, os = _planes(s)
+        za, oa = _planes(a)
+        zb, ob = _planes(b)
+        assert _scalar(V.v_mux2(zs, os, za, oa, zb, ob)) == _ref_mux(s, a, b)
+
+    @given(TRIT, TRIT, TRIT)
+    def test_reduce_matches_pairwise(self, a, b, c):
+        planes = [_planes(x) for x in (a, b, c)]
+        got = _scalar(V.v_reduce(V.v_and2, planes))
+        assert got == _ref_and(_ref_and(a, b), c)
+
+
+class TestMasks:
+    def test_known_mask(self):
+        z, o = _planes(X)
+        assert int(V.known_mask(z, o)[0]) == 0
+        z, o = _planes(ONE)
+        assert int(V.known_mask(z, o)[0]) == 1
+
+    @given(TRIT, TRIT)
+    def test_diff_mask_only_on_known_difference(self, a, b):
+        za, oa = _planes(a)
+        zb, ob = _planes(b)
+        diff = int(V.diff_mask(za, oa, zb, ob)[0]) & 1
+        expected = int(X not in (a, b) and a != b)
+        assert diff == expected
+
+    @given(TRIT, TRIT)
+    def test_toggle_count(self, prev, cur):
+        zp, op = _planes(prev)
+        zc, oc = _planes(cur)
+        expected = int(X not in (prev, cur) and prev != cur)
+        assert V.toggle_count(zp, op, zc, oc) == expected

@@ -1,0 +1,87 @@
+"""Tests for the VCD waveform writer."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.logic.simulator import CycleSimulator
+from repro.logic.vcd import VcdTrace, _identifier, dump_system_run
+from repro.netlist.builder import NetlistBuilder
+
+
+def _toggler():
+    b = NetlistBuilder("t")
+    a = b.input("a")
+    y = b.not_(a, output=b.net("y"))
+    b.output(y)
+    return b.done(), a, y
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        for s in ids:
+            assert all(33 <= ord(c) <= 126 for c in s)
+
+
+class TestTrace:
+    def test_header_and_vars(self):
+        nl, a, y = _toggler()
+        trace = VcdTrace(nl)
+        sim = CycleSimulator(nl, 1)
+        sim.drive_const(a, 0)
+        sim.settle()
+        trace.sample(sim)
+        text = trace.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert re.search(r"\$var wire 1 \S+ a \$end", text)
+
+    def test_value_changes_recorded(self):
+        nl, a, y = _toggler()
+        trace = VcdTrace(nl, nets=[a, y], timescale_ns=10)
+        sim = CycleSimulator(nl, 1)
+        for bit in [0, 1, 1, 0]:
+            sim.drive_const(a, bit)
+            sim.settle()
+            trace.sample(sim)
+            sim.latch()
+        text = trace.render()
+        body = text.split("$enddefinitions $end")[1]
+        # Time markers at cycles where something changed: 0, 10, 30 (and
+        # the closing timestamp 40); nothing changed at cycle 2.
+        times = re.findall(r"^#(\d+)$", body, flags=re.MULTILINE)
+        assert times == ["0", "10", "30", "40"]
+        # Inputs always driven: no unknown values in the dump.
+        changes = re.findall(r"^([01x])\S+$", body, flags=re.MULTILINE)
+        assert changes and "x" not in changes
+
+    def test_x_values_rendered(self):
+        nl, a, y = _toggler()
+        trace = VcdTrace(nl, nets=[y])
+        sim = CycleSimulator(nl, 1)
+        sim.settle()  # a undriven -> y is X
+        trace.sample(sim)
+        body = trace.render().split("$enddefinitions $end")[1]
+        assert "x" in body
+
+    def test_default_net_selection_skips_generated_names(self):
+        nl, a, y = _toggler()
+        trace = VcdTrace(nl)
+        names = [nl.net_names[n] for n in trace.nets]
+        assert "a" in names and "y" in names
+
+
+def test_dump_system_run(tmp_path, facet_system):
+    data = {k: np.array([3]) for k in facet_system.rtl.dfg.inputs}
+    path = tmp_path / "run.vcd"
+    text = dump_system_run(
+        facet_system, data, facet_system.cycles_for(1), str(path)
+    )
+    assert path.read_text() == text
+    assert "$dumpvars" in text
+    # control lines included by default
+    assert re.search(r"\$var wire 1 \S+ ctl_LD1 \$end", text)

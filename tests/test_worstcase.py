@@ -1,0 +1,88 @@
+"""Tests for the Section-4 worst-case corruption experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.worstcase import Flip, find_worst_case
+from repro.designs.catalog import DFG_BUILDERS
+from repro.hls.system import NormalModeStimulus
+from repro.logic.simulator import CycleSimulator
+
+
+@pytest.fixture(scope="module")
+def facet_worst(facet_system):
+    return find_worst_case(facet_system.rtl, facet_system.controller)
+
+
+class TestSearch:
+    def test_accepts_some_flips(self, facet_worst):
+        assert 0 < len(facet_worst.flips) <= facet_worst.candidates
+
+    def test_flips_only_touch_legal_entries(self, facet_system, facet_worst):
+        rtl = facet_system.rtl
+        for f in facet_worst.flips:
+            if f.line in rtl.load_lines:
+                # Extra loads only where the fault-free table had 0.
+                assert rtl.control.loads[f.state][f.line] == 0
+                assert f.value == 1
+            else:
+                # Select flips only on don't-cares.
+                assert rtl.control.selects[f.state][f.line] is None
+
+    def test_corrupted_table_installed(self, facet_system, facet_worst):
+        base = facet_system.rtl.control
+        corrupted = facet_worst.rtl.control
+        changed = 0
+        for state in base.states:
+            for line, val in base.loads[state].items():
+                changed += int(corrupted.loads[state][line] != val)
+        assert changed == sum(1 for f in facet_worst.flips if f.line.startswith("LD"))
+
+    def test_original_rtl_untouched(self, facet_system, facet_worst):
+        # deepcopy semantics: the input design keeps its golden table.
+        rtl = facet_system.rtl
+        assert any(
+            rtl.control.loads[f.state][f.line] == 0
+            for f in facet_worst.flips
+            if f.line in rtl.load_lines
+        )
+
+
+class TestCorruptedSystem:
+    def test_still_computes_correctly(self, facet_worst):
+        system = facet_worst.build()
+        dfg = DFG_BUILDERS["facet"]()
+        rng = np.random.default_rng(5)
+        data = {k: rng.integers(0, 16, 48) for k in system.rtl.dfg.inputs}
+        stim = NormalModeStimulus(system, data, system.cycles_for(1))
+        sim = CycleSimulator(system.netlist, 48)
+        for c in range(stim.n_cycles):
+            stim.apply(sim, c)
+            sim.settle()
+            sim.latch()
+        for port, bus in system.output_buses.items():
+            got = sim.sample_bus(bus)
+            for p in range(48):
+                outs, _ = dfg.execute({k: int(v[p]) for k, v in data.items()})
+                assert got[p] == outs[port]
+
+    def test_power_strictly_increases(self, facet_system, facet_worst):
+        from repro.power.estimator import PowerEstimator
+        from repro.power.montecarlo import monte_carlo_power
+
+        corrupted = facet_worst.build()
+        base = monte_carlo_power(
+            facet_system, PowerEstimator(facet_system.netlist),
+            batch_patterns=64, max_batches=3,
+        )
+        worst = monte_carlo_power(
+            corrupted, PowerEstimator(corrupted.netlist),
+            batch_patterns=64, max_batches=3,
+        )
+        assert worst.power_uw > 1.5 * base.power_uw  # >50% even on facet
+
+
+class TestFlip:
+    def test_describe(self):
+        assert "extra load" in Flip("CS1", "LD3", 1).describe()
+        assert "select flip" in Flip("HOLD", "MS2", 1).describe()
