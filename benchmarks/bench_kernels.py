@@ -11,7 +11,7 @@ import numpy as np
 from repro.core.classify import Classifier
 from repro.core.pipeline import controller_fault_universe
 from repro.hls.system import NormalModeStimulus
-from repro.logic.faultsim import simulate_one_fault, run_golden
+from repro.logic.faultsim import fault_simulate, simulate_one_fault, run_golden
 from repro.logic.simulator import CycleSimulator
 from repro.synth.qm import minimize_exact
 
@@ -48,6 +48,28 @@ def test_kernel_single_fault_simulation(benchmark, systems):
 
     verdict, _ = benchmark(run)
     assert verdict is not None
+
+
+def test_kernel_fault_list_simulation(benchmark, systems):
+    """Block-parallel fault batching: a whole 32-fault chunk per pass.
+
+    Compare the per-fault cost here against
+    ``test_kernel_single_fault_simulation`` -- the batched engine shares
+    each cycle's numpy work across the chunk.
+    """
+    system = systems["diffeq"]
+    data = {k: np.arange(128) % 16 for k in system.rtl.dfg.inputs}
+    stim = NormalModeStimulus(system, data, system.cycles_for(3))
+    observe = [n for bus in system.output_buses.values() for n in bus]
+    faults = [
+        system.to_system_fault(s) for s in controller_fault_universe(system)[:32]
+    ]
+
+    def run():
+        return fault_simulate(system.netlist, faults, stim, observe=observe)
+
+    result = benchmark(run)
+    assert len(result.verdicts) == len(faults)
 
 
 def test_kernel_qm_minimisation(benchmark):

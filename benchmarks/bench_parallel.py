@@ -1,0 +1,83 @@
+"""Serial-vs-parallel scaling of the fault-parallel engine.
+
+Times the two fan-out stages of the pipeline -- fault simulation and
+Monte-Carlo power grading -- at increasing ``n_jobs``, verifies the
+results stay bit-identical, and records the wall-clock table in
+``benchmarks/results/parallel.txt``.  On a single-core host the parallel
+rows only show process overhead; the bit-identity assertions are the
+point there.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.grading import grade_sfr_faults
+from repro.core.pipeline import controller_fault_universe
+from repro.hls.system import NormalModeStimulus, hold_masks
+from repro.logic.faultsim import fault_simulate
+from repro.tpg.tpgr import TPGR
+
+from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _fault_sim_once(system, n_jobs):
+    tpgr = TPGR(system.rtl.dfg.inputs, system.rtl.width, seed=0xACE1)
+    data = {k: np.asarray(v) for k, v in tpgr.generate(PATTERNS).items()}
+    stim = NormalModeStimulus(system, data, system.cycles_for(4))
+    masks = hold_masks(system, stim)
+    observe = [n for bus in system.output_buses.values() for n in bus]
+    faults = [system.to_system_fault(s) for s in controller_fault_universe(system)]
+    t0 = time.perf_counter()
+    result = fault_simulate(
+        system.netlist, faults, stim, observe=observe, valid_masks=masks, n_jobs=n_jobs
+    )
+    return time.perf_counter() - t0, result
+
+
+def test_parallel_scaling(systems, pipelines, save_result):
+    system = systems["diffeq"]
+    lines = [
+        "parallel scaling (diffeq)",
+        f"host cores: {os.cpu_count()}",
+        "",
+        f"{'stage':<16}{'n_jobs':>8}{'wall s':>10}{'speedup':>10}",
+    ]
+
+    base_time, base_result = None, None
+    for n_jobs in JOB_COUNTS:
+        elapsed, result = _fault_sim_once(system, n_jobs)
+        if base_result is None:
+            base_time, base_result = elapsed, result
+        assert result.verdicts == base_result.verdicts
+        assert result.detect_cycle == base_result.detect_cycle
+        lines.append(
+            f"{'fault_sim':<16}{n_jobs:>8}{elapsed:>10.2f}{base_time / elapsed:>10.2f}"
+        )
+
+    base_time, base_grading = None, None
+    for n_jobs in JOB_COUNTS:
+        t0 = time.perf_counter()
+        grading = grade_sfr_faults(
+            system,
+            pipelines["diffeq"],
+            batch_patterns=MC_BATCH,
+            max_batches=MC_MAX_BATCHES,
+            n_jobs=n_jobs,
+        )
+        elapsed = time.perf_counter() - t0
+        if base_grading is None:
+            base_time, base_grading = elapsed, grading
+        assert grading.fault_free_uw == base_grading.fault_free_uw
+        assert [
+            (g.power_uw, g.pct_change, g.group) for g in grading.graded
+        ] == [(g.power_uw, g.pct_change, g.group) for g in base_grading.graded]
+        lines.append(
+            f"{'grading':<16}{n_jobs:>8}{elapsed:>10.2f}{base_time / elapsed:>10.2f}"
+        )
+
+    lines += ["", "all rows bit-identical to the n_jobs=1 baseline"]
+    save_result("parallel", "\n".join(lines))

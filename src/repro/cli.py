@@ -37,9 +37,13 @@ def _build(args):
     )
 
 
+def _config(args) -> PipelineConfig:
+    return PipelineConfig(n_patterns=args.patterns, n_jobs=args.jobs)
+
+
 def _cmd_classify(args) -> int:
     system = _build(args)
-    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
+    result = run_pipeline(system, _config(args))
     print(system.rtl.summary())
     print("fault buckets:", result.counts())
     row = result.table2_row()
@@ -55,8 +59,10 @@ def _cmd_classify(args) -> int:
 
 def _cmd_grade(args) -> int:
     system = _build(args)
-    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
-    grading = grade_sfr_faults(system, result, threshold=args.threshold)
+    result = run_pipeline(system, _config(args))
+    grading = grade_sfr_faults(
+        system, result, threshold=args.threshold, n_jobs=args.jobs
+    )
     print(render_table1(grading, pick_representative(grading)))
     print()
     print(render_figure7(grading))
@@ -74,7 +80,7 @@ def _cmd_table2(args) -> int:
     results = []
     for name in PAPER_DESIGNS:
         system = build_system(build_rtl(name, width=args.width))
-        results.append(run_pipeline(system, PipelineConfig(n_patterns=args.patterns)))
+        results.append(run_pipeline(system, _config(args)))
     print(render_table2(results))
     return 0
 
@@ -105,8 +111,8 @@ def _cmd_strategies(args) -> int:
     from .core.teststrategies import compare_strategies
 
     system = _build(args)
-    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
-    grading = grade_sfr_faults(system, result, max_batches=4)
+    result = run_pipeline(system, _config(args))
+    grading = grade_sfr_faults(system, result, max_batches=4, n_jobs=args.jobs)
     rows = compare_strategies(system, result, grading, n_patterns=args.patterns)
     print(
         render_table(
@@ -171,7 +177,7 @@ def _cmd_compile(args) -> int:
     system = build_system(
         rtl, encoding_kind=args.encoding, output_style=args.output_style
     )
-    result = run_pipeline(system, PipelineConfig(n_patterns=args.patterns))
+    result = run_pipeline(system, _config(args))
     print("fault buckets:", result.counts())
     return 0
 
@@ -198,6 +204,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--width", type=int, default=4, help="datapath bit width")
     parser.add_argument("--patterns", type=int, default=256, help="fault-sim patterns")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-fault loops (-1 = all cores; results "
+        "are identical for any value -- see docs/performance.md)",
+    )
     parser.add_argument("--encoding", default="binary", choices=["binary", "gray", "onehot"])
     parser.add_argument(
         "--output-style", default="pla", choices=["pla", "decoded", "minimized"]

@@ -17,8 +17,9 @@ import numpy as np
 
 from ..hls.system import System
 from ..power.estimator import PowerEstimator
-from ..power.montecarlo import measure_power, monte_carlo_power
+from ..power.montecarlo import measure_power, monte_carlo_power, precompute_batches
 from ..tpg.tpgr import TPGR
+from .parallel import ParallelExecutor
 from .pipeline import FaultRecord, PipelineResult
 
 
@@ -66,6 +67,19 @@ class GradingResult:
         }
 
 
+def _grade_worker(context, fault):
+    """Monte-Carlo one fault against shared precomputed batches (pickles)."""
+    system, estimator, batches, max_batches, iterations_window = context
+    return monte_carlo_power(
+        system,
+        estimator,
+        fault=fault,
+        max_batches=max_batches,
+        iterations_window=iterations_window,
+        batches=batches,
+    )
+
+
 def grade_sfr_faults(
     system: System,
     pipeline_result: PipelineResult,
@@ -75,29 +89,31 @@ def grade_sfr_faults(
     batch_patterns: int = 192,
     max_batches: int = 12,
     iterations_window: int = 4,
+    n_jobs: int = 1,
 ) -> GradingResult:
-    """Monte-Carlo grade every SFR fault of a pipeline result."""
+    """Monte-Carlo grade every SFR fault of a pipeline result.
+
+    Each random batch is generated and packed once (``precompute_batches``)
+    and replayed for the fault-free baseline and every SFR fault; the
+    per-fault campaigns fan out across ``n_jobs`` processes with
+    bit-identical powers regardless of job count.
+    """
     estimator = estimator or PowerEstimator(system.netlist)
-    base = monte_carlo_power(
+    batches = precompute_batches(
         system,
-        estimator,
-        fault=None,
         seed=seed,
         batch_patterns=batch_patterns,
         max_batches=max_batches,
         iterations_window=iterations_window,
     )
+    context = (system, estimator, batches, max_batches, iterations_window)
+    base = _grade_worker(context, None)
+    records = pipeline_result.sfr_records
+    runs = ParallelExecutor(n_jobs).run(
+        _grade_worker, [r.system_site for r in records], context
+    )
     graded: list[GradedFault] = []
-    for record in pipeline_result.sfr_records:
-        mc = monte_carlo_power(
-            system,
-            estimator,
-            fault=record.system_site,
-            seed=seed,
-            batch_patterns=batch_patterns,
-            max_batches=max_batches,
-            iterations_window=iterations_window,
-        )
+    for record, mc in zip(records, runs):
         assert record.classification is not None
         group = "load" if record.classification.affects_load_line else "select"
         pct = 100.0 * (mc.power_uw - base.power_uw) / base.power_uw

@@ -40,6 +40,9 @@ class PipelineConfig:
     iterations_window: int = 4
     hold_cycles: int = 3
     iteration_counts: tuple[int, ...] = (1, 2, 3)
+    #: worker processes for the per-fault simulation loop (1 = serial,
+    #: negative = one per core); results are identical for any value.
+    n_jobs: int = 1
 
 
 @dataclass
@@ -125,7 +128,12 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
     observe = [net for bus in system.output_buses.values() for net in bus]
     system_sites = [system.to_system_fault(s) for s in universe]
     sim_result = fault_simulate(
-        system.netlist, system_sites, stimulus, observe=observe, valid_masks=masks
+        system.netlist,
+        system_sites,
+        stimulus,
+        observe=observe,
+        valid_masks=masks,
+        n_jobs=config.n_jobs,
     )
 
     # Steps 2-4.

@@ -165,9 +165,16 @@ class NormalModeStimulus:
     Cycle 0 asserts ``reset`` (start already high); from cycle 1 onward the
     machine runs free.  Data inputs are held constant for the whole run,
     exactly as a tester applies one pattern per computation.
+
+    The per-net (zero, one) bit-planes are packed once at construction and
+    replayed by every ``apply`` -- a fault-simulation or Monte-Carlo
+    campaign reuses one stimulus across hundreds of faulted simulators
+    without re-packing identical data each run.
     """
 
     def __init__(self, system: System, data: dict[str, np.ndarray], n_cycles: int):
+        from ..logic import values as V
+
         lengths = {len(np.asarray(v)) for v in data.values()}
         if len(lengths) != 1:
             raise ValueError("all data arrays must have the same length")
@@ -179,14 +186,38 @@ class NormalModeStimulus:
         self.n_patterns = lengths.pop()
         self.n_cycles = n_cycles
 
+        # Precompile the packed bit-planes driven at cycle 0.
+        mask = V.tail_mask(self.n_patterns)
+        zeros = np.zeros_like(mask)
+        planes: list[tuple[int, np.ndarray, np.ndarray]] = [
+            (system.reset_net, zeros, mask),  # reset = 1
+            (system.start_net, zeros, mask),  # start = 1
+        ]
+        width = system.rtl.width
+        for name, bus in system.input_buses.items():
+            vals = self.data[name]
+            if vals.size and (vals.min() < 0 or vals.max() >> width):
+                raise ValueError(
+                    f"data for input {name!r} exceeds the {width}-bit datapath"
+                )
+            for i, net in enumerate(bus):
+                one = V.pack_bits((vals >> i) & 1)
+                planes.append((net, ~one & mask, one))
+        self._cycle0_planes = planes
+        self._reset_off = (system.reset_net, mask, zeros)  # reset = 0
+
     def apply(self, sim, cycle: int) -> None:
         if cycle == 0:
-            sim.drive_const(self.system.reset_net, 1)
-            sim.drive_const(self.system.start_net, 1)
-            for name, bus in self.system.input_buses.items():
-                sim.drive_bus(bus, self.data[name])
+            if sim.n_patterns != self.n_patterns:
+                raise ValueError(
+                    f"simulator carries {sim.n_patterns} patterns; "
+                    f"stimulus was packed for {self.n_patterns}"
+                )
+            for net, z, o in self._cycle0_planes:
+                sim.drive_words(net, z, o)
         elif cycle == 1:
-            sim.drive_const(self.system.reset_net, 0)
+            net, z, o = self._reset_off
+            sim.drive_words(net, z, o)
 
 
 def hold_masks(system: System, stimulus: NormalModeStimulus) -> list[np.ndarray]:

@@ -1,8 +1,12 @@
-"""Serial stuck-at fault simulation with GENTEST-style verdicts.
+"""Fault-parallel stuck-at fault simulation with GENTEST-style verdicts.
 
 The paper's Section-5 pipeline starts with a fault simulation of the entire
 controller-datapath system under pseudorandom stimulus.  This module
 provides that step for an arbitrary netlist, fault list and stimulus.
+Every per-fault simulator resolves its injection against one shared
+:class:`~repro.logic.simulator.CompiledNetlist`, and the per-fault loop of
+:func:`fault_simulate` can fan out across processes (``n_jobs``) with
+bit-identical results.
 
 Verdicts mirror what the paper reports about the GENTEST simulator [10]:
 
@@ -26,9 +30,11 @@ from typing import Protocol
 
 import numpy as np
 
+from ..core.parallel import ParallelExecutor
 from ..netlist.netlist import Netlist
+from . import values as V
 from .faults import FaultSite
-from .simulator import CycleSimulator
+from .simulator import CycleSimulator, compile_netlist
 
 
 class Stimulus(Protocol):
@@ -117,14 +123,122 @@ def simulate_one_fault(
     return (Verdict.POTENTIAL if potential else Verdict.UNDETECTED), -1
 
 
+class _TiledSim:
+    """Drive adapter replicating one stimulus across fault blocks.
+
+    Presents the ``n_patterns`` of the original stimulus while tiling every
+    drive across the ``n_blocks`` pattern blocks of a wide block-parallel
+    simulator, so any :class:`Stimulus` works with the batched engine
+    unmodified.
+    """
+
+    def __init__(self, sim: CycleSimulator, n_patterns: int, n_blocks: int):
+        self._sim = sim
+        self._reps = n_blocks
+        self.n_patterns = n_patterns
+        self.words = V.num_words(n_patterns)
+        self.mask = V.tail_mask(n_patterns)
+
+    def drive_words(self, net: int, zero: np.ndarray, one: np.ndarray) -> None:
+        self._sim.drive_words(
+            net,
+            np.tile(zero & self.mask, self._reps),
+            np.tile(one & self.mask, self._reps),
+        )
+
+    def drive(self, net: int, bits) -> None:
+        one = V.pack_bits(np.asarray(bits, dtype=np.uint8))
+        self.drive_words(net, ~one & self.mask, one & self.mask)
+
+    def drive_const(self, net: int, value: int) -> None:
+        zeros = np.zeros(self.words, dtype=self.mask.dtype)
+        if value:
+            self.drive_words(net, zeros, self.mask)
+        else:
+            self.drive_words(net, self.mask, zeros)
+
+    def drive_bus(self, nets: list[int], words) -> None:
+        vals = np.asarray(words, dtype=np.int64)
+        for i, net in enumerate(nets):
+            self.drive(net, (vals >> i) & 1)
+
+
+def _fault_chunk_worker(context, chunk: list[FaultSite]) -> list[tuple[Verdict, int]]:
+    """Simulate a chunk of faults in one block-parallel pass (pickles).
+
+    Fault ``i`` of the chunk owns pattern block ``i`` of a simulator that is
+    ``len(chunk)`` times wider than the stimulus; its stem/poison forces are
+    confined to that block.  Bit positions are independent simulations, so
+    every block reproduces the standalone faulted run bit-for-bit while the
+    per-cycle numpy work is shared by the whole chunk.
+    """
+    netlist, stimulus, observe, golden, valid_masks = context
+    if len(chunk) == 1 or stimulus.n_patterns % V.WORD_BITS:
+        return [
+            simulate_one_fault(netlist, f, stimulus, observe, golden, valid_masks)
+            for f in chunk
+        ]
+    n_obs = len(observe)
+    wpb = stimulus.n_patterns // V.WORD_BITS  # words per fault block
+    n_blocks = len(chunk)
+    blocks = [(i * wpb, (i + 1) * wpb) for i in range(n_blocks)]
+    sim = CycleSimulator(
+        netlist,
+        n_blocks * stimulus.n_patterns,
+        faults=list(chunk),
+        fault_blocks=blocks,
+    )
+    tiled = _TiledSim(sim, stimulus.n_patterns, n_blocks)
+    detect_cycle = np.full(n_blocks, -1, dtype=np.int64)
+    potential = np.zeros(n_blocks, dtype=bool)
+    for cycle in range(stimulus.n_cycles):
+        stimulus.apply(tiled, cycle)
+        sim.settle()
+        gz, go = golden[cycle]
+        gz = np.tile(gz, (1, n_blocks))
+        go = np.tile(go, (1, n_blocks))
+        fz = sim.Z[observe]
+        fo = sim.O[observe]
+        diff = (gz & fo) | (go & fz)
+        maybe = (gz | go) & ~(fz | fo)
+        if valid_masks is not None:
+            vm = np.tile(valid_masks[cycle], n_blocks)
+            diff = diff & vm
+            maybe = maybe & vm
+        live = detect_cycle < 0
+        hit = diff.reshape(n_obs, n_blocks, wpb).any(axis=(0, 2))
+        detect_cycle[live & hit] = cycle
+        live &= ~hit
+        if not live.any():
+            break
+        potential |= live & maybe.reshape(n_obs, n_blocks, wpb).any(axis=(0, 2))
+        sim.latch()
+    out: list[tuple[Verdict, int]] = []
+    for i in range(n_blocks):
+        if detect_cycle[i] >= 0:
+            out.append((Verdict.DETECTED, int(detect_cycle[i])))
+        elif potential[i]:
+            out.append((Verdict.POTENTIAL, -1))
+        else:
+            out.append((Verdict.UNDETECTED, -1))
+    return out
+
+
 def fault_simulate(
     netlist: Netlist,
     faults: list[FaultSite],
     stimulus: Stimulus,
     observe: list[int] | None = None,
     valid_masks: list[np.ndarray] | None = None,
+    n_jobs: int = 1,
+    batch_faults: int = 32,
 ) -> FaultSimResult:
-    """Serial fault simulation of ``faults`` under ``stimulus``.
+    """Fault simulation of ``faults`` under ``stimulus``.
+
+    Faults are processed in block-parallel chunks of ``batch_faults`` (one
+    wide simulator per chunk -- see :func:`_fault_chunk_worker`), and the
+    chunks fan out across ``n_jobs`` worker processes.  Verdicts are
+    bit-identical for every combination of the two knobs.
 
     Args:
         netlist: the design (controller-datapath system in the pipeline).
@@ -133,15 +247,25 @@ def fault_simulate(
         observe: nets to compare (defaults to the netlist's primary outputs).
         valid_masks: optional per-cycle pattern masks restricting when the
             tester samples the outputs.
+        n_jobs: worker processes; 1 runs serially, negative uses every core.
+        batch_faults: faults per block-parallel pass; 1 disables batching
+            and simulates one fault per (cache-compiled) simulator.
     """
     if observe is None:
         observe = list(netlist.outputs)
+    compile_netlist(netlist)  # warm the shared compile before fanning out
     golden = run_golden(netlist, stimulus, observe)
+    context = (netlist, stimulus, observe, golden, valid_masks)
+    batch_faults = max(1, batch_faults)
+    chunks = [
+        list(faults[i : i + batch_faults]) for i in range(0, len(faults), batch_faults)
+    ]
+    per_chunk = ParallelExecutor(n_jobs, chunk_size=1).run(
+        _fault_chunk_worker, chunks, context
+    )
+    outcomes = [vc for chunk_out in per_chunk for vc in chunk_out]
     result = FaultSimResult(verdicts={})
-    for fault in faults:
-        verdict, cycle = simulate_one_fault(
-            netlist, fault, stimulus, observe, golden, valid_masks
-        )
+    for fault, (verdict, cycle) in zip(faults, outcomes):
         result.verdicts[fault] = verdict
         if verdict is Verdict.DETECTED:
             result.detect_cycle[fault] = cycle

@@ -34,7 +34,14 @@ class PowerResult:
 
 
 class PowerEstimator:
-    """Per-netlist capacitance model + power computation."""
+    """Per-netlist capacitance model + power computation.
+
+    All tag bookkeeping is vectorised: tags are interned into an index once
+    at construction (per-net and per-register numpy index arrays), and the
+    boolean selection masks for each ``tag_prefix`` are built on first use
+    and cached, so :meth:`power` is a handful of array reductions no matter
+    how many nets the design has.
+    """
 
     def __init__(self, netlist: Netlist, library: PowerLibrary | None = None):
         self.netlist = netlist
@@ -58,8 +65,31 @@ class PowerEstimator:
         self.n_dff = sum(1 for g in netlist.gates if g.gtype is GateType.DFF)
         self.dff_tags = [g.tag for g in netlist.gates if g.gtype is GateType.DFF]
 
+        # Intern tags: every distinct tag gets one id; nets / DFFEs / DFFs
+        # carry int index arrays into ``self._tags``.
+        dffe_tags = [g.tag for g in self.dffe_gates]
+        self._tags = sorted(set(self.net_tag) | set(dffe_tags) | set(self.dff_tags))
+        tag_id = {t: i for i, t in enumerate(self._tags)}
+        self._net_tag_idx = np.array([tag_id[t] for t in self.net_tag], dtype=np.int64)
+        self._dffe_tag_idx = np.array([tag_id[t] for t in dffe_tags], dtype=np.int64)
+        self._dff_tag_counts = np.bincount(
+            np.array([tag_id[t] for t in self.dff_tags], dtype=np.int64),
+            minlength=len(self._tags),
+        )
+        self._prefix_cache: dict[str | None, np.ndarray] = {}
+
     def _tag_selected(self, tag: str, prefix: str | None) -> bool:
         return prefix is None or tag.startswith(prefix)
+
+    def _tag_mask(self, prefix: str | None) -> np.ndarray:
+        """Boolean mask over interned tags selected by ``prefix`` (cached)."""
+        mask = self._prefix_cache.get(prefix)
+        if mask is None:
+            mask = np.array(
+                [self._tag_selected(t, prefix) for t in self._tags], dtype=bool
+            )
+            self._prefix_cache[prefix] = mask
+        return mask
 
     def power(self, sim: CycleSimulator, tag_prefix: str | None = None) -> PowerResult:
         """Average power from a finished simulation run.
@@ -79,30 +109,40 @@ class PowerEstimator:
         denom = cycles * patterns
         e_ff = lib.energy_per_ff()
 
-        sel = np.array(
-            [self._tag_selected(t, tag_prefix) for t in self.net_tag], dtype=bool
-        )
-        sw_energy_ff = float((sim.toggles * self.net_cap_ff * sel).sum())
+        tag_sel = self._tag_mask(tag_prefix)
+        n_tags = len(self._tags)
 
-        clk_energy_ff = 0.0
-        by_tag_ff: dict[str, float] = {}
         per_net_ff = sim.toggles * self.net_cap_ff
-        for net in np.nonzero(sim.toggles)[0]:
-            tag = self.net_tag[net] or "(untagged)"
-            if self._tag_selected(tag, tag_prefix):
-                by_tag_ff[tag] = by_tag_ff.get(tag, 0.0) + float(per_net_ff[net])
-        for row, gate in enumerate(self.dffe_gates):
-            if self._tag_selected(gate.tag, tag_prefix):
-                e = float(sim.load_events[row]) * lib.dffe_clock_cap
-                clk_energy_ff += e
-                key = gate.tag or "(untagged)"
-                by_tag_ff[key] = by_tag_ff.get(key, 0.0) + e
-        for tag in self.dff_tags:
-            if self._tag_selected(tag, tag_prefix):
-                e = denom * lib.dff_clock_cap
-                clk_energy_ff += e
-                key = tag or "(untagged)"
-                by_tag_ff[key] = by_tag_ff.get(key, 0.0) + e
+        net_sel = tag_sel[self._net_tag_idx]
+        sw_energy_ff = float((per_net_ff * net_sel).sum())
+
+        # Per-tag switching energy over toggling, selected nets.
+        active = net_sel & (sim.toggles != 0)
+        sw_by_tag = np.bincount(
+            self._net_tag_idx[active], weights=per_net_ff[active], minlength=n_tags
+        )
+        tag_present = np.bincount(self._net_tag_idx[active], minlength=n_tags) > 0
+
+        # Clock energy: DFFEs burn per load event, plain DFFs every cycle.
+        clk_by_tag = np.zeros(n_tags)
+        if len(self.dffe_gates):
+            dffe_sel = tag_sel[self._dffe_tag_idx]
+            clk_by_tag += np.bincount(
+                self._dffe_tag_idx[dffe_sel],
+                weights=sim.load_events[dffe_sel] * lib.dffe_clock_cap,
+                minlength=n_tags,
+            )
+            tag_present |= np.bincount(self._dffe_tag_idx[dffe_sel], minlength=n_tags) > 0
+        clk_by_tag += np.where(tag_sel, self._dff_tag_counts, 0) * (
+            denom * lib.dff_clock_cap
+        )
+        tag_present |= tag_sel & (self._dff_tag_counts > 0)
+        clk_energy_ff = float(clk_by_tag.sum())
+
+        by_tag_ff = {
+            self._tags[i] or "(untagged)": float(sw_by_tag[i] + clk_by_tag[i])
+            for i in np.nonzero(tag_present)[0]
+        }
 
         to_uw = e_ff * lib.f_clk / denom * 1e6
         return PowerResult(

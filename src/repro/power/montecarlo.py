@@ -9,6 +9,13 @@ relative tolerance, or a batch budget is exhausted.
 ``measure_power`` is the single-batch primitive; it also serves the
 fixed-test-set experiments of Table 3 (where the data comes from a TPGR
 with a chosen seed instead of a Monte-Carlo RNG).
+
+A grading campaign runs the same random batches through the fault-free
+machine and every faulted one.  ``precompute_batches`` materialises each
+batch as a packed :class:`NormalModeStimulus` exactly once; passing the
+list to ``monte_carlo_power`` (via ``batches=``) replays it without
+regenerating or re-packing data, with results bit-identical to the
+generate-per-call path for the same seed and batch size.
 """
 
 from __future__ import annotations
@@ -28,22 +35,30 @@ DATAPATH_TAG = "dp"
 def measure_power(
     system: System,
     estimator: PowerEstimator,
-    data: dict[str, np.ndarray],
+    data: dict[str, np.ndarray] | NormalModeStimulus,
     fault: FaultSite | None = None,
     iterations_window: int = 4,
     hold_cycles: int = 3,
     tag_prefix: str | None = DATAPATH_TAG,
 ) -> PowerResult:
-    """Average datapath power for one batch of input patterns."""
-    n_cycles = system.cycles_for(iterations_window, hold_cycles)
-    stim = NormalModeStimulus(system, data, n_cycles)
+    """Average datapath power for one batch of input patterns.
+
+    ``data`` is either a dict of per-input pattern arrays or an already
+    packed :class:`NormalModeStimulus` (reused across faults to avoid
+    re-packing identical bit-planes).
+    """
+    if isinstance(data, NormalModeStimulus):
+        stim = data
+    else:
+        n_cycles = system.cycles_for(iterations_window, hold_cycles)
+        stim = NormalModeStimulus(system, data, n_cycles)
     sim = CycleSimulator(
         system.netlist,
         stim.n_patterns,
         faults=[fault] if fault else None,
         count_toggles=True,
     )
-    for cycle in range(n_cycles):
+    for cycle in range(stim.n_cycles):
         stim.apply(sim, cycle)
         sim.settle()
         sim.latch()
@@ -62,9 +77,38 @@ class MonteCarloResult:
 
 
 def random_data(system: System, rng: np.random.Generator, n_patterns: int) -> dict[str, np.ndarray]:
-    """Uniform random input data for every primary data input."""
+    """Uniform random input data for every primary data input.
+
+    Values are masked to the datapath width at generation time, so drivers
+    downstream (``drive_bus`` asserts this) never see out-of-range words.
+    """
     hi = 1 << system.rtl.width
-    return {name: rng.integers(0, hi, n_patterns) for name in system.rtl.dfg.inputs}
+    return {
+        name: rng.integers(0, hi, n_patterns) & (hi - 1)
+        for name in system.rtl.dfg.inputs
+    }
+
+
+def precompute_batches(
+    system: System,
+    seed: int = 2000,
+    batch_patterns: int = 192,
+    max_batches: int = 12,
+    iterations_window: int = 4,
+    hold_cycles: int = 3,
+) -> list[NormalModeStimulus]:
+    """Materialise every Monte-Carlo batch as a packed stimulus, once.
+
+    Drawing all ``max_batches`` batches from one RNG stream reproduces the
+    exact per-batch data of the generate-per-call path, so early-converging
+    runs simply ignore the tail of the list.
+    """
+    rng = np.random.default_rng(seed)
+    n_cycles = system.cycles_for(iterations_window, hold_cycles)
+    return [
+        NormalModeStimulus(system, random_data(system, rng, batch_patterns), n_cycles)
+        for _ in range(max_batches)
+    ]
 
 
 def monte_carlo_power(
@@ -78,21 +122,40 @@ def monte_carlo_power(
     rel_tol: float = 0.004,
     iterations_window: int = 4,
     hold_cycles: int = 3,
+    batches: list[NormalModeStimulus] | None = None,
 ) -> MonteCarloResult:
     """Run random batches until the cumulative mean power converges.
 
     Convergence: the cumulative mean moved by less than ``rel_tol``
     (relative) over the last batch, after at least ``min_batches``.
+
+    Pass ``batches`` (from :func:`precompute_batches`) to reuse packed
+    batch stimuli across the fault-free baseline and every faulted run;
+    ``seed``/``batch_patterns`` are then ignored in favour of the
+    precomputed data.
     """
-    rng = np.random.default_rng(seed)
+    if batches is None:
+        rng = np.random.default_rng(seed)
+        n_cycles = system.cycles_for(iterations_window, hold_cycles)
+
+        def batch_stim(_batch: int) -> NormalModeStimulus:
+            return NormalModeStimulus(
+                system, random_data(system, rng, batch_patterns), n_cycles
+            )
+
+    else:
+        max_batches = min(max_batches, len(batches))
+
+        def batch_stim(batch: int) -> NormalModeStimulus:
+            return batches[batch - 1]
+
     totals: list[float] = []
     history: list[float] = []
     for batch in range(1, max_batches + 1):
-        data = random_data(system, rng, batch_patterns)
         result = measure_power(
             system,
             estimator,
-            data,
+            batch_stim(batch),
             fault=fault,
             iterations_window=iterations_window,
             hold_cycles=hold_cycles,
@@ -106,13 +169,13 @@ def monte_carlo_power(
                 return MonteCarloResult(
                     power_uw=mean,
                     batches=batch,
-                    patterns=batch * batch_patterns,
+                    patterns=batch * result.patterns,
                     history=history,
                 )
     return MonteCarloResult(
         power_uw=float(np.mean(totals)),
         batches=max_batches,
-        patterns=max_batches * batch_patterns,
+        patterns=max_batches * (result.patterns if totals else 0),
         history=history,
         converged=False,
     )
