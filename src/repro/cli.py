@@ -21,12 +21,74 @@ import sys
 
 from .core.grading import grade_sfr_faults, pick_representative
 from .core.pipeline import PipelineConfig, run_pipeline
-from .core.report import render_figure7, render_table1, render_table2
+from .core.report import (
+    render_campaign_summary,
+    render_figure7,
+    render_table1,
+    render_table2,
+)
 from .designs.catalog import build_rtl, design_names
 from .hls.system import build_system
 from .netlist.bench import write_bench
 from .netlist.stats import analyze
 from .netlist.verilog import write_verilog
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an int >= 1, rejected with a readable error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _jobs_arg(text: str) -> int:
+    """argparse type for --jobs: a positive worker count or -1 (all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value != -1 and value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs takes a worker count >= 1 or -1 for all cores, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _fraction_arg(text: str) -> float:
+    value = _positive_float(text)
+    if value >= 1:
+        raise argparse.ArgumentTypeError(f"must be a fraction in (0, 1), got {value}")
+    return value
+
+
+def _print_campaign(campaign, title: str) -> None:
+    """Surface retries/crashes/resumes whenever anything non-trivial ran."""
+    if campaign is not None and (campaign.resumed or campaign.has_incidents()):
+        print(render_campaign_summary(campaign, title=title))
 
 
 def _build(args):
@@ -38,12 +100,20 @@ def _build(args):
 
 
 def _config(args) -> PipelineConfig:
-    return PipelineConfig(n_patterns=args.patterns, n_jobs=args.jobs)
+    return PipelineConfig(
+        n_patterns=args.patterns,
+        n_jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+    )
 
 
 def _cmd_classify(args) -> int:
     system = _build(args)
     result = run_pipeline(system, _config(args))
+    _print_campaign(result.campaign, "fault-sim campaign")
     print(system.rtl.summary())
     print("fault buckets:", result.counts())
     row = result.table2_row()
@@ -60,9 +130,18 @@ def _cmd_classify(args) -> int:
 def _cmd_grade(args) -> int:
     system = _build(args)
     result = run_pipeline(system, _config(args))
+    _print_campaign(result.campaign, "fault-sim campaign")
     grading = grade_sfr_faults(
-        system, result, threshold=args.threshold, n_jobs=args.jobs
+        system,
+        result,
+        threshold=args.threshold,
+        n_jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
+    _print_campaign(grading.campaign, "grading campaign")
     print(render_table1(grading, pick_representative(grading)))
     print()
     print(render_figure7(grading))
@@ -202,14 +281,47 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-faults",
         description="SFR controller-fault analysis via power (DATE 2000 reproduction)",
     )
-    parser.add_argument("--width", type=int, default=4, help="datapath bit width")
-    parser.add_argument("--patterns", type=int, default=256, help="fault-sim patterns")
+    parser.add_argument(
+        "--width", type=_positive_int, default=4, help="datapath bit width"
+    )
+    parser.add_argument(
+        "--patterns", type=_positive_int, default=256, help="fault-sim patterns"
+    )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
-        help="worker processes for per-fault loops (-1 = all cores; results "
-        "are identical for any value -- see docs/performance.md)",
+        help="worker processes for per-fault loops (-1 = all cores, capped at "
+        "the machine's core count; results are identical for any value -- "
+        "see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal per-fault results to DIR so a killed campaign can be "
+        "resumed (see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from its --checkpoint-dir "
+        "journal, skipping already-completed faults bit-identically",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk timeout: a hung worker is killed and its chunk "
+        "retried (default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        help="extra attempts granted to a failed or timed-out chunk "
+        "(default: 2)",
     )
     parser.add_argument("--encoding", default="binary", choices=["binary", "gray", "onehot"])
     parser.add_argument(
@@ -223,7 +335,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("grade", help="classify + Monte-Carlo power grading")
     p.add_argument("design", choices=design_names())
-    p.add_argument("--threshold", type=float, default=0.05)
+    p.add_argument("--threshold", type=_fraction_arg, default=0.05)
     p.set_defaults(func=_cmd_grade)
 
     p = sub.add_parser("table2", help="Table 2 for all designs")
@@ -257,7 +369,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("dump-vcd", help="waveform of one normal-mode run")
     p.add_argument("design", choices=design_names())
     p.add_argument("out")
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seed", type=_nonnegative_int, default=1)
     p.set_defaults(func=_cmd_dump_vcd)
 
     args = parser.parse_args(argv)

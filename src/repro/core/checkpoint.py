@@ -1,0 +1,171 @@
+"""Crash-safe checkpointing of long fault-analysis campaigns.
+
+Both fan-out stages of the Section-5 flow -- per-fault simulation and
+per-SFR-fault Monte-Carlo power -- are embarrassingly parallel over
+independent faults, so a campaign interrupted at any point can resume by
+skipping faults whose results are already known.  This module provides
+the journal behind that:
+
+* :func:`campaign_fingerprint` hashes everything that determines a
+  campaign's results (design name, collapsed fault ids, config knobs and
+  seeds) into a short stable id;
+* :class:`CampaignJournal` appends one JSON line per completed fault to
+  ``<dir>/<kind>-<fingerprint>.jsonl`` (flushed and fsynced per record,
+  so a SIGKILL loses at most the record being written);
+* on resume the journal is reloaded, its header fingerprint checked
+  against the requesting campaign, and a half-written final line (the
+  kill signature) silently dropped.  Any other corruption -- a garbage
+  header, a mangled interior line, a foreign fingerprint -- raises
+  :class:`~repro.core.errors.CheckpointMismatch` rather than silently
+  grading the wrong design.
+
+Because every per-fault result is deterministic and independent, a
+resumed campaign is bit-identical to an uninterrupted one: the skipped
+faults replay their journaled verdicts/powers, the rest are recomputed
+from the same seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .errors import CheckpointMismatch
+
+#: bumped whenever the journal line format changes incompatibly
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-campaign-checkpoint"
+
+
+def fault_key(site: Any) -> str:
+    """Stable string id of a :class:`~repro.logic.faults.FaultSite`."""
+    gate = "pi" if site.gate_index is None else str(site.gate_index)
+    return f"{gate}:{site.pin}:{site.net}:{site.value}"
+
+
+def campaign_fingerprint(
+    kind: str, design: str, fault_keys: Iterable[str], params: Mapping[str, Any]
+) -> str:
+    """Deterministic id of one campaign.
+
+    Two campaigns share a fingerprint exactly when they would produce the
+    same per-fault results: same stage (``kind``), same design, same
+    collapsed fault universe and same result-relevant knobs/seeds.
+    """
+    payload = json.dumps(
+        {
+            "magic": _MAGIC,
+            "version": FORMAT_VERSION,
+            "kind": kind,
+            "design": design,
+            "faults": list(fault_keys),
+            "params": {k: params[k] for k in sorted(params)},
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class CampaignJournal:
+    """Append-only per-fault result journal for one campaign.
+
+    ``journal.done`` maps fault keys to their journaled values; callers
+    skip those faults and :meth:`record` each newly computed one.  All
+    writes happen in the coordinating process (results arrive via the
+    executor's completion callback), so the file never sees concurrent
+    writers.
+    """
+
+    def __init__(self, path: str | os.PathLike, fingerprint: str, kind: str, resume: bool = False):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.kind = kind
+        self.done: dict[str, Any] = {}
+        if resume and self.path.exists():
+            self.done = self._load()
+            self.n_resumed = len(self.done)
+        else:
+            self.n_resumed = 0
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "magic": _MAGIC,
+                "version": FORMAT_VERSION,
+                "kind": kind,
+                "fingerprint": fingerprint,
+            }
+            with open(self.path, "w", encoding="utf-8") as f:
+                f.write(json.dumps(header) + "\n")
+
+    # ------------------------------------------------------------- loading
+    def _load(self) -> dict[str, Any]:
+        raw = self.path.read_text(encoding="utf-8")
+        lines = raw.splitlines()
+        if not lines:
+            raise CheckpointMismatch(f"checkpoint {self.path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointMismatch(
+                f"checkpoint {self.path} has an unreadable header: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or header.get("magic") != _MAGIC:
+            raise CheckpointMismatch(f"{self.path} is not a campaign checkpoint")
+        if header.get("version") != FORMAT_VERSION:
+            raise CheckpointMismatch(
+                f"checkpoint {self.path} uses format version "
+                f"{header.get('version')!r}; this build writes {FORMAT_VERSION}"
+            )
+        if header.get("kind") != self.kind or header.get("fingerprint") != self.fingerprint:
+            raise CheckpointMismatch(
+                f"checkpoint {self.path} belongs to campaign "
+                f"{header.get('kind')}/{header.get('fingerprint')}, "
+                f"not {self.kind}/{self.fingerprint} -- refusing to resume"
+            )
+        # A SIGKILL mid-write leaves exactly one torn line, and only at the
+        # tail; tolerate that, reject corruption anywhere else.
+        truncated_tail = not raw.endswith("\n")
+        done: dict[str, Any] = {}
+        for lineno, line in enumerate(lines[1:], start=2):
+            is_last = lineno == len(lines)
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key, value = entry["key"], entry["value"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if is_last and truncated_tail:
+                    break  # torn final record from an interrupted write
+                raise CheckpointMismatch(
+                    f"checkpoint {self.path} line {lineno} is corrupt: {exc}"
+                ) from exc
+            done[key] = value
+        return done
+
+    # ----------------------------------------------------------- recording
+    def record(self, key: str, value: Any) -> None:
+        """Journal one fault's result durably (survives SIGKILL)."""
+        if key in self.done:
+            return
+        self.done[key] = value
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(json.dumps({"key": key, "value": value}) + "\n")
+            f.flush()
+            os.fsync(f.fileno())
+
+
+def open_journal(
+    checkpoint_dir: str | os.PathLike | None,
+    kind: str,
+    fingerprint: str,
+    resume: bool = False,
+) -> CampaignJournal | None:
+    """Open (or create) the journal for one campaign; None if disabled."""
+    if checkpoint_dir is None:
+        return None
+    path = Path(checkpoint_dir) / f"{kind}-{fingerprint}.jsonl"
+    return CampaignJournal(path, fingerprint, kind, resume=resume)

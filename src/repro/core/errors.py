@@ -1,0 +1,103 @@
+"""Structured failure taxonomy and fail-fast campaign validators.
+
+A Section-5 campaign is a long fan-out (per-fault simulation, then a
+Monte-Carlo power run per SFR fault).  Failures fall into a small set of
+shapes, each with its own exception so callers can react precisely:
+
+* :class:`CampaignError` -- base class; also raised directly by the
+  fail-fast validators below when a campaign's inputs are unusable;
+* :class:`WorkerCrash` -- a worker process died (OOM, ``os._exit``,
+  segfault) and recovery was exhausted or disabled;
+* :class:`ChunkTimeout` -- a chunk of work exceeded its per-chunk budget
+  on every allowed attempt;
+* :class:`CheckpointMismatch` -- a checkpoint file does not belong to
+  this campaign (wrong fingerprint) or is structurally corrupt.
+
+The validators run *before* any process pool, golden-trace simulation or
+batch precomputation, so a bad netlist, stimulus or config is rejected in
+milliseconds instead of surfacing as a deep-stack numpy error minutes
+into a fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class CampaignError(RuntimeError):
+    """A fault-analysis campaign could not run or complete."""
+
+
+class WorkerCrash(CampaignError):
+    """A worker process died and the lost work could not be recovered."""
+
+
+class ChunkTimeout(CampaignError, TimeoutError):
+    """A chunk of campaign work exceeded its timeout on every attempt."""
+
+
+class CheckpointMismatch(CampaignError):
+    """A checkpoint file belongs to a different campaign or is corrupt."""
+
+
+# ------------------------------------------------------------- validators
+def validate_netlist(netlist: Any) -> None:
+    """Reject structurally unusable netlists before any simulation.
+
+    Checks the invariants every campaign stage assumes: the design has
+    gates, declared primary inputs/outputs, and every output net is
+    actually driven (or is a fed-through primary input).
+    """
+    if not netlist.gates:
+        raise CampaignError(f"netlist {netlist.name!r} has no gates")
+    if not netlist.inputs:
+        raise CampaignError(f"netlist {netlist.name!r} declares no primary inputs")
+    if not netlist.outputs:
+        raise CampaignError(f"netlist {netlist.name!r} declares no primary outputs")
+    inputs = set(netlist.inputs)
+    undriven = [
+        netlist.net_names[net]
+        for net in netlist.outputs
+        if netlist.driver_of(net) is None and net not in inputs
+    ]
+    if undriven:
+        raise CampaignError(
+            f"netlist {netlist.name!r} outputs are undriven: {undriven[:5]}"
+        )
+
+
+def validate_stimulus(stimulus: Any) -> None:
+    """Reject degenerate stimuli (no patterns / no cycles / no driver)."""
+    n_patterns = getattr(stimulus, "n_patterns", 0)
+    n_cycles = getattr(stimulus, "n_cycles", 0)
+    if n_patterns < 1:
+        raise CampaignError(f"stimulus has {n_patterns} patterns; need at least 1")
+    if n_cycles < 1:
+        raise CampaignError(f"stimulus has {n_cycles} cycles; need at least 1")
+    if not callable(getattr(stimulus, "apply", None)):
+        raise CampaignError("stimulus has no callable apply(sim, cycle) method")
+
+
+def validate_config(config: Any) -> None:
+    """Reject unusable :class:`~repro.core.pipeline.PipelineConfig` values."""
+    if config.n_patterns < 1:
+        raise CampaignError(f"n_patterns must be >= 1, got {config.n_patterns}")
+    if config.iterations_window < 1:
+        raise CampaignError(
+            f"iterations_window must be >= 1, got {config.iterations_window}"
+        )
+    if config.hold_cycles < 1:
+        raise CampaignError(f"hold_cycles must be >= 1, got {config.hold_cycles}")
+    if not config.iteration_counts or any(c < 1 for c in config.iteration_counts):
+        raise CampaignError(
+            f"iteration_counts must be non-empty positive ints, "
+            f"got {config.iteration_counts!r}"
+        )
+    if config.tpgr_seed < 0:
+        raise CampaignError(f"tpgr_seed must be >= 0, got {config.tpgr_seed}")
+    timeout = getattr(config, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise CampaignError(f"timeout must be positive seconds or None, got {timeout}")
+    max_retries = getattr(config, "max_retries", 0)
+    if max_retries < 0:
+        raise CampaignError(f"max_retries must be >= 0, got {max_retries}")

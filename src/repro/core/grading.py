@@ -17,10 +17,20 @@ import numpy as np
 
 from ..hls.system import System
 from ..power.estimator import PowerEstimator
-from ..power.montecarlo import measure_power, monte_carlo_power, precompute_batches
+from ..power.montecarlo import (
+    MonteCarloResult,
+    measure_power,
+    monte_carlo_power,
+    precompute_batches,
+)
 from ..tpg.tpgr import TPGR
-from .parallel import ParallelExecutor
+from .checkpoint import campaign_fingerprint, fault_key, open_journal
+from .errors import CampaignError, validate_netlist
+from .parallel import ParallelExecutor, RunReport
 from .pipeline import FaultRecord, PipelineResult
+
+#: journal key of the fault-free Monte-Carlo baseline
+_BASELINE_KEY = "__fault_free__"
 
 
 @dataclass
@@ -45,6 +55,8 @@ class GradingResult:
     fault_free_uw: float
     threshold: float
     graded: list[GradedFault] = field(default_factory=list)
+    #: resilience summary of the Monte-Carlo fan-out
+    campaign: RunReport | None = None
 
     def detected_flags(self) -> list[bool]:
         return [abs(g.pct_change) > 100.0 * self.threshold for g in self.graded]
@@ -90,30 +102,96 @@ def grade_sfr_faults(
     max_batches: int = 12,
     iterations_window: int = 4,
     n_jobs: int = 1,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> GradingResult:
     """Monte-Carlo grade every SFR fault of a pipeline result.
 
     Each random batch is generated and packed once (``precompute_batches``)
     and replayed for the fault-free baseline and every SFR fault; the
     per-fault campaigns fan out across ``n_jobs`` processes with
-    bit-identical powers regardless of job count.
+    bit-identical powers regardless of job count.  With ``checkpoint_dir``
+    set, the baseline and every per-fault result are journaled as they
+    complete, and a rerun with ``resume=True`` replays journaled powers
+    bit-identically instead of recomputing them.
     """
-    estimator = estimator or PowerEstimator(system.netlist)
-    batches = precompute_batches(
-        system,
-        seed=seed,
-        batch_patterns=batch_patterns,
-        max_batches=max_batches,
-        iterations_window=iterations_window,
-    )
-    context = (system, estimator, batches, max_batches, iterations_window)
-    base = _grade_worker(context, None)
+    validate_netlist(system.netlist)
+    if not 0 < threshold < 1:
+        raise CampaignError(f"threshold must be a fraction in (0, 1), got {threshold}")
+    if batch_patterns < 1 or max_batches < 1:
+        raise CampaignError(
+            f"batch_patterns and max_batches must be >= 1 "
+            f"(got {batch_patterns}, {max_batches})"
+        )
+    if timeout is not None and timeout <= 0:
+        raise CampaignError(f"timeout must be positive seconds or None, got {timeout}")
     records = pipeline_result.sfr_records
-    runs = ParallelExecutor(n_jobs).run(
-        _grade_worker, [r.system_site for r in records], context
+    journal = open_journal(
+        checkpoint_dir,
+        "grading",
+        campaign_fingerprint(
+            "grading",
+            pipeline_result.design,
+            [fault_key(r.system_site) for r in records],
+            {
+                "seed": seed,
+                "batch_patterns": batch_patterns,
+                "max_batches": max_batches,
+                "iterations_window": iterations_window,
+            },
+        ),
+        resume=resume,
     )
+    mc_by_key: dict[str, MonteCarloResult] = {}
+    if journal is not None:
+        mc_by_key = {
+            k: MonteCarloResult.from_json_dict(v) for k, v in journal.done.items()
+        }
+    todo = [r for r in records if fault_key(r.system_site) not in mc_by_key]
+    report = RunReport(n_items=len(records), resumed=len(records) - len(todo))
+
+    estimator = estimator or PowerEstimator(system.netlist)
+    context = None
+    if todo or _BASELINE_KEY not in mc_by_key:
+        batches = precompute_batches(
+            system,
+            seed=seed,
+            batch_patterns=batch_patterns,
+            max_batches=max_batches,
+            iterations_window=iterations_window,
+        )
+        context = (system, estimator, batches, max_batches, iterations_window)
+    if _BASELINE_KEY in mc_by_key:
+        base = mc_by_key[_BASELINE_KEY]
+    else:
+        base = _grade_worker(context, None)
+        if journal is not None:
+            journal.record(_BASELINE_KEY, base.to_json_dict())
+    if todo:
+
+        def _journal_chunk(sites, results) -> None:
+            for site, mc in zip(sites, results):
+                key = fault_key(site)
+                mc_by_key[key] = mc
+                if journal is not None:
+                    journal.record(key, mc.to_json_dict())
+
+        executor = ParallelExecutor(n_jobs, timeout=timeout, max_retries=max_retries)
+        executor.run(
+            _grade_worker,
+            [r.system_site for r in todo],
+            context,
+            on_chunk=_journal_chunk,
+        )
+        assert executor.last_report is not None
+        report = executor.last_report
+        report.n_items = len(records)
+        report.resumed = len(records) - len(todo)
     graded: list[GradedFault] = []
-    for record, mc in zip(records, runs):
+    for record in records:
+        mc = mc_by_key[fault_key(record.system_site)]
         assert record.classification is not None
         group = "load" if record.classification.affects_load_line else "select"
         pct = 100.0 * (mc.power_uw - base.power_uw) / base.power_uw
@@ -128,6 +206,7 @@ def grade_sfr_faults(
         fault_free_uw=base.power_uw,
         threshold=threshold,
         graded=graded,
+        campaign=report,
     )
 
 

@@ -28,7 +28,10 @@ from ..hls.system import NormalModeStimulus, System, hold_masks
 from ..logic.faults import FaultSite, collapse_faults, enumerate_faults
 from ..logic.faultsim import Verdict, fault_simulate
 from ..tpg.tpgr import TPGR
+from .checkpoint import campaign_fingerprint, fault_key, open_journal
 from .classify import Classifier, FaultClassification
+from .errors import validate_config, validate_netlist, validate_stimulus
+from .parallel import RunReport
 
 
 @dataclass
@@ -43,6 +46,27 @@ class PipelineConfig:
     #: worker processes for the per-fault simulation loop (1 = serial,
     #: negative = one per core); results are identical for any value.
     n_jobs: int = 1
+    #: directory for crash-safe campaign journals (None disables
+    #: checkpointing); see :mod:`repro.core.checkpoint`.
+    checkpoint_dir: str | None = None
+    #: resume a previously interrupted campaign from its journal instead
+    #: of starting fresh -- results are bit-identical either way.
+    resume: bool = False
+    #: per-chunk seconds before a hung worker is killed and retried
+    #: (None waits forever); only meaningful with ``n_jobs > 1``.
+    timeout: float | None = None
+    #: extra attempts granted to a failed/timed-out chunk of work.
+    max_retries: int = 2
+
+    def fingerprint_params(self) -> dict:
+        """The result-relevant knobs that key a campaign checkpoint."""
+        return {
+            "n_patterns": self.n_patterns,
+            "tpgr_seed": self.tpgr_seed,
+            "iterations_window": self.iterations_window,
+            "hold_cycles": self.hold_cycles,
+            "iteration_counts": list(self.iteration_counts),
+        }
 
 
 @dataclass
@@ -76,6 +100,8 @@ class PipelineResult:
 
     design: str
     records: list[FaultRecord] = field(default_factory=list)
+    #: resilience summary of the fault-simulation fan-out
+    campaign: RunReport | None = None
 
     def by_category(self, category: str) -> list[FaultRecord]:
         return [r for r in self.records if r.category == category]
@@ -115,8 +141,15 @@ def controller_fault_universe(system: System) -> list[FaultSite]:
 
 
 def run_pipeline(system: System, config: PipelineConfig | None = None) -> PipelineResult:
-    """Execute the full Section-5 flow on ``system``."""
+    """Execute the full Section-5 flow on ``system``.
+
+    With ``config.checkpoint_dir`` set, per-fault verdicts are journaled
+    as they complete; a killed campaign rerun with ``config.resume`` skips
+    the journaled faults and produces bit-identical results.
+    """
     config = config or PipelineConfig()
+    validate_config(config)
+    validate_netlist(system.netlist)
     universe = controller_fault_universe(system)
 
     # Step 1: integrated fault simulation under TPGR data.
@@ -124,9 +157,21 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
     data = {k: np.asarray(v) for k, v in tpgr.generate(config.n_patterns).items()}
     n_cycles = system.cycles_for(config.iterations_window, config.hold_cycles)
     stimulus = NormalModeStimulus(system, data, n_cycles)
+    validate_stimulus(stimulus)
     masks = hold_masks(system, stimulus)
     observe = [net for bus in system.output_buses.values() for net in bus]
     system_sites = [system.to_system_fault(s) for s in universe]
+    journal = open_journal(
+        config.checkpoint_dir,
+        "faultsim",
+        campaign_fingerprint(
+            "faultsim",
+            system.rtl.name,
+            [fault_key(s) for s in system_sites],
+            config.fingerprint_params(),
+        ),
+        resume=config.resume,
+    )
     sim_result = fault_simulate(
         system.netlist,
         system_sites,
@@ -134,6 +179,9 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         observe=observe,
         valid_masks=masks,
         n_jobs=config.n_jobs,
+        timeout=config.timeout,
+        max_retries=config.max_retries,
+        checkpoint=journal,
     )
 
     # Steps 2-4.
@@ -145,7 +193,7 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         system.controller,
         iteration_counts=config.iteration_counts,
     )
-    result = PipelineResult(design=system.rtl.name)
+    result = PipelineResult(design=system.rtl.name, campaign=sim_result.campaign)
     for site, sys_site in zip(universe, system_sites):
         verdict = sim_result.verdicts[sys_site]
         record = FaultRecord(site=site, system_site=sys_site, simulation=verdict)

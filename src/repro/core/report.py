@@ -6,7 +6,9 @@ Produces plain-text renderings (and CSV-able row dicts) of:
 * Table 2 -- controller fault breakdown per design;
 * Table 3 -- power consistency across fixed test sets;
 * Figure 7 -- per-fault Monte-Carlo power against the +/- threshold band,
-  select-only faults first, then load-line faults (ASCII scatter).
+  select-only faults first, then load-line faults (ASCII scatter);
+* the per-campaign resilience summary (retries / crashes / timeouts /
+  resumed-fault counts) of a fault-tolerant fan-out.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .grading import GradedFault, GradingResult, Table3Row
+from .parallel import RunReport
 from .pipeline import PipelineResult
 
 
@@ -109,6 +112,45 @@ def render_table3(rows: list[Table3Row], design: str) -> str:
     return render_table(
         headers, out_rows, title=f"Table 3 -- power under fixed test sets ({design})"
     )
+
+
+# -------------------------------------------------------- campaign summary
+def campaign_summary_row(report: RunReport) -> dict:
+    """CSV-able dict of one campaign's resilience counters."""
+    return {
+        "faults": report.n_items,
+        "computed": report.completed,
+        "resumed": report.resumed,
+        "chunks": report.n_chunks,
+        "retries": report.retries,
+        "timeouts": report.timeouts,
+        "worker_crashes": report.crashes,
+        "pool_rebuilds": report.pool_rebuilds,
+        "serial_fallbacks": report.serial_fallbacks,
+    }
+
+
+def render_campaign_summary(report: RunReport, title: str = "campaign") -> str:
+    """One-line resilience summary of a campaign fan-out.
+
+    A clean uninterrupted run reads e.g. ``campaign: 214 faults computed``;
+    resumed or bumpy campaigns append their resumed/retry/crash/timeout
+    counts so partial runs are visible at a glance.
+    """
+    parts = [f"{report.completed} fault{'s' if report.completed != 1 else ''} computed"]
+    if report.resumed:
+        parts.append(f"{report.resumed} resumed from checkpoint")
+    if report.retries:
+        parts.append(f"{report.retries} chunk retries")
+    if report.timeouts:
+        parts.append(f"{report.timeouts} timeouts")
+    if report.crashes:
+        parts.append(f"{report.crashes} worker crashes")
+    if report.pool_rebuilds:
+        parts.append(f"{report.pool_rebuilds} pool rebuilds")
+    if report.serial_fallbacks:
+        parts.append(f"{report.serial_fallbacks} serial fallbacks")
+    return f"{title}: " + ", ".join(parts)
 
 
 # ----------------------------------------------------------------- Figure 7

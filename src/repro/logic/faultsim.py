@@ -30,7 +30,8 @@ from typing import Protocol
 
 import numpy as np
 
-from ..core.parallel import ParallelExecutor
+from ..core.checkpoint import CampaignJournal, fault_key
+from ..core.parallel import ParallelExecutor, RunReport
 from ..netlist.netlist import Netlist
 from . import values as V
 from .faults import FaultSite
@@ -58,6 +59,8 @@ class FaultSimResult:
 
     verdicts: dict[FaultSite, Verdict]
     detect_cycle: dict[FaultSite, int] = field(default_factory=dict)
+    #: resilience summary of the fan-out (None for fully resumed runs)
+    campaign: RunReport | None = None
 
     def by_verdict(self, verdict: Verdict) -> list[FaultSite]:
         return [f for f, v in self.verdicts.items() if v is verdict]
@@ -232,13 +235,18 @@ def fault_simulate(
     valid_masks: list[np.ndarray] | None = None,
     n_jobs: int = 1,
     batch_faults: int = 32,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    checkpoint: CampaignJournal | None = None,
 ) -> FaultSimResult:
     """Fault simulation of ``faults`` under ``stimulus``.
 
     Faults are processed in block-parallel chunks of ``batch_faults`` (one
     wide simulator per chunk -- see :func:`_fault_chunk_worker`), and the
     chunks fan out across ``n_jobs`` worker processes.  Verdicts are
-    bit-identical for every combination of the two knobs.
+    bit-identical for every combination of the two knobs -- and for any
+    interruption point of a checkpointed campaign, because every per-fault
+    verdict is deterministic and independent.
 
     Args:
         netlist: the design (controller-datapath system in the pipeline).
@@ -250,22 +258,54 @@ def fault_simulate(
         n_jobs: worker processes; 1 runs serially, negative uses every core.
         batch_faults: faults per block-parallel pass; 1 disables batching
             and simulates one fault per (cache-compiled) simulator.
+        timeout: per-chunk seconds before a hung worker is killed and the
+            chunk retried (see :class:`~repro.core.parallel.ParallelExecutor`).
+        max_retries: extra attempts per failed/timed-out chunk.
+        checkpoint: optional campaign journal; faults already journaled are
+            skipped and replayed from disk, newly simulated faults are
+            journaled as their chunk completes.
     """
     if observe is None:
         observe = list(netlist.outputs)
-    compile_netlist(netlist)  # warm the shared compile before fanning out
-    golden = run_golden(netlist, stimulus, observe)
-    context = (netlist, stimulus, observe, golden, valid_masks)
-    batch_faults = max(1, batch_faults)
-    chunks = [
-        list(faults[i : i + batch_faults]) for i in range(0, len(faults), batch_faults)
-    ]
-    per_chunk = ParallelExecutor(n_jobs, chunk_size=1).run(
-        _fault_chunk_worker, chunks, context
-    )
-    outcomes = [vc for chunk_out in per_chunk for vc in chunk_out]
-    result = FaultSimResult(verdicts={})
-    for fault, (verdict, cycle) in zip(faults, outcomes):
+    done: dict[FaultSite, tuple[Verdict, int]] = {}
+    todo = list(faults)
+    if checkpoint is not None:
+        for fault in faults:
+            entry = checkpoint.done.get(fault_key(fault))
+            if entry is not None:
+                done[fault] = (Verdict(entry[0]), int(entry[1]))
+        todo = [f for f in faults if f not in done]
+    outcomes_by_fault: dict[FaultSite, tuple[Verdict, int]] = dict(done)
+    report = RunReport(n_items=len(faults), resumed=len(done))
+    if todo:
+        compile_netlist(netlist)  # warm the shared compile before fanning out
+        golden = run_golden(netlist, stimulus, observe)
+        context = (netlist, stimulus, observe, golden, valid_masks)
+        batch_faults = max(1, batch_faults)
+        chunks = [
+            list(todo[i : i + batch_faults]) for i in range(0, len(todo), batch_faults)
+        ]
+
+        def _journal_chunk(items, results) -> None:
+            for chunk, chunk_out in zip(items, results):
+                for fault, (verdict, cycle) in zip(chunk, chunk_out):
+                    outcomes_by_fault[fault] = (verdict, cycle)
+                    if checkpoint is not None:
+                        checkpoint.record(fault_key(fault), [verdict.value, cycle])
+
+        executor = ParallelExecutor(
+            n_jobs, chunk_size=1, timeout=timeout, max_retries=max_retries
+        )
+        executor.run(_fault_chunk_worker, chunks, context, on_chunk=_journal_chunk)
+        assert executor.last_report is not None
+        report = executor.last_report
+        # the executor counted fault-chunks; report in faults
+        report.n_items = len(faults)
+        report.completed = len(todo)
+        report.resumed = len(done)
+    result = FaultSimResult(verdicts={}, campaign=report)
+    for fault in faults:
+        verdict, cycle = outcomes_by_fault[fault]
         result.verdicts[fault] = verdict
         if verdict is Verdict.DETECTED:
             result.detect_cycle[fault] = cycle

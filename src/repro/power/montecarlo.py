@@ -75,6 +75,30 @@ class MonteCarloResult:
     history: list[float] = field(default_factory=list)
     converged: bool = True
 
+    def to_json_dict(self) -> dict:
+        """JSON-safe form for campaign checkpoints.
+
+        Floats round-trip exactly through JSON, so a result replayed from
+        a journal is bit-identical to the freshly computed one.
+        """
+        return {
+            "power_uw": self.power_uw,
+            "batches": self.batches,
+            "patterns": self.patterns,
+            "history": list(self.history),
+            "converged": self.converged,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "MonteCarloResult":
+        return cls(
+            power_uw=float(data["power_uw"]),
+            batches=int(data["batches"]),
+            patterns=int(data["patterns"]),
+            history=[float(h) for h in data["history"]],
+            converged=bool(data["converged"]),
+        )
+
 
 def random_data(system: System, rng: np.random.Generator, n_patterns: int) -> dict[str, np.ndarray]:
     """Uniform random input data for every primary data input.
@@ -134,6 +158,13 @@ def monte_carlo_power(
     ``seed``/``batch_patterns`` are then ignored in favour of the
     precomputed data.
     """
+    if batch_patterns < 1 or max_batches < 1 or min_batches < 1:
+        raise ValueError(
+            "batch_patterns, max_batches and min_batches must all be >= 1 "
+            f"(got {batch_patterns}, {max_batches}, {min_batches})"
+        )
+    if rel_tol <= 0:
+        raise ValueError(f"rel_tol must be positive, got {rel_tol}")
     if batches is None:
         rng = np.random.default_rng(seed)
         n_cycles = system.cycles_for(iterations_window, hold_cycles)

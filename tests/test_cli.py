@@ -50,6 +50,46 @@ def test_bad_design_rejected():
         main(["classify", "nonexistent"])
 
 
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--patterns", "0", "classify", "facet"],
+        ["--patterns", "lots", "classify", "facet"],
+        ["--jobs", "0", "classify", "facet"],
+        ["--jobs", "-3", "classify", "facet"],
+        ["--jobs", "many", "classify", "facet"],
+        ["--width", "0", "classify", "facet"],
+        ["--timeout", "-5", "classify", "facet"],
+        ["--timeout", "0", "classify", "facet"],
+        ["--max-retries", "-1", "classify", "facet"],
+        ["grade", "facet", "--threshold", "0"],
+        ["grade", "facet", "--threshold", "1.5"],
+        ["dump-vcd", "facet", "out.vcd", "--seed", "-2"],
+    ],
+)
+def test_bad_argument_values_rejected_by_argparse(argv, capsys):
+    """Out-of-range knob values die in argparse, not deep in a campaign."""
+    with pytest.raises(SystemExit) as exc_info:
+        main(argv)
+    assert exc_info.value.code == 2  # argparse usage error
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_checkpoint_and_resume_roundtrip(tmp_path, capsys):
+    """A checkpointed classify rerun with --resume skips every fault and
+    says so, with identical Table-2 output."""
+    base = ["--patterns", "64", "--checkpoint-dir", str(tmp_path)]
+    assert main([*base, "classify", "facet"]) == 0
+    first = capsys.readouterr().out
+    assert main([*base, "--resume", "classify", "facet"]) == 0
+    second = capsys.readouterr().out
+    assert "resumed from checkpoint" in second
+    assert list(tmp_path.glob("faultsim-*.jsonl"))
+    # everything after the campaign-summary line is identical
+    strip = lambda out: [l for l in out.splitlines() if "campaign" not in l]
+    assert strip(first) == strip(second)
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

@@ -39,12 +39,16 @@ class TestParallelExecutor:
     def test_empty_items(self):
         assert ParallelExecutor(n_jobs=4).run(_square, [], 1) == []
 
-    def test_resolve_n_jobs(self):
+    def test_resolve_n_jobs(self, monkeypatch):
+        import repro.core.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
         assert resolve_n_jobs(1) == 1
         assert resolve_n_jobs(None) == 1
         assert resolve_n_jobs(0) == 1
-        assert resolve_n_jobs(5) == 5
-        assert resolve_n_jobs(-1) >= 1
+        assert resolve_n_jobs(2) == 2
+        assert resolve_n_jobs(5) == 4  # capped at the core count
+        assert resolve_n_jobs(-1) == 4
 
 
 @pytest.fixture(scope="module")
