@@ -17,13 +17,17 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.grading import grade_sfr_faults, pick_representative
+from .core.integrity import DEFAULT_AUDIT_RATE
 from .core.pipeline import PipelineConfig, run_pipeline
 from .core.report import (
+    build_json_report,
     render_campaign_summary,
     render_figure7,
+    render_integrity_violations,
     render_table1,
     render_table2,
 )
@@ -85,10 +89,48 @@ def _fraction_arg(text: str) -> float:
     return value
 
 
+def _audit_rate_arg(text: str) -> float:
+    """argparse type for --audit-rate: a fraction in [0, 1); 0 disables."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in [0, 1) (0 disables auditing), got {value}"
+        )
+    return value
+
+
+def _chaos_arg(text: str) -> str:
+    """argparse type for --chaos: validate the spec at the CLI boundary."""
+    from .core.errors import CampaignError
+    from .testing.chaos import ChaosSpec
+
+    try:
+        ChaosSpec.parse(text)
+    except CampaignError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def _print_campaign(campaign, title: str) -> None:
     """Surface retries/crashes/resumes whenever anything non-trivial ran."""
-    if campaign is not None and (campaign.resumed or campaign.has_incidents()):
+    if campaign is not None and (
+        campaign.resumed or campaign.audited or campaign.has_incidents()
+    ):
         print(render_campaign_summary(campaign, title=title))
+    if campaign is not None and campaign.violations:
+        print(render_integrity_violations(campaign, title=f"{title} integrity"))
+
+
+def _write_report_json(args, campaigns: dict) -> None:
+    """Write the machine-readable campaign/integrity report if requested."""
+    if not getattr(args, "report_json", None):
+        return
+    with open(args.report_json, "w", encoding="utf-8") as f:
+        json.dump(build_json_report(campaigns), f, indent=2, allow_nan=False)
+    print(f"wrote {args.report_json}")
 
 
 def _build(args):
@@ -107,6 +149,9 @@ def _config(args) -> PipelineConfig:
         resume=args.resume,
         timeout=args.timeout,
         max_retries=args.max_retries,
+        audit_rate=args.audit_rate,
+        strict=args.strict,
+        chaos=args.chaos,
     )
 
 
@@ -114,6 +159,7 @@ def _cmd_classify(args) -> int:
     system = _build(args)
     result = run_pipeline(system, _config(args))
     _print_campaign(result.campaign, "fault-sim campaign")
+    _write_report_json(args, {"faultsim": result.campaign})
     print(system.rtl.summary())
     print("fault buckets:", result.counts())
     row = result.table2_row()
@@ -131,6 +177,11 @@ def _cmd_grade(args) -> int:
     system = _build(args)
     result = run_pipeline(system, _config(args))
     _print_campaign(result.campaign, "fault-sim campaign")
+    chaos_engine = None
+    if args.chaos:
+        from .testing.chaos import ChaosEngine
+
+        chaos_engine = ChaosEngine.from_spec(args.chaos)
     grading = grade_sfr_faults(
         system,
         result,
@@ -140,8 +191,14 @@ def _cmd_grade(args) -> int:
         max_retries=args.max_retries,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        audit_rate=args.audit_rate,
+        strict=args.strict,
+        chaos=chaos_engine,
     )
     _print_campaign(grading.campaign, "grading campaign")
+    _write_report_json(
+        args, {"faultsim": result.campaign, "grading": grading.campaign}
+    )
     print(render_table1(grading, pick_representative(grading)))
     print()
     print(render_figure7(grading))
@@ -323,6 +380,38 @@ def main(argv: list[str] | None = None) -> int:
         help="extra attempts granted to a failed or timed-out chunk "
         "(default: 2)",
     )
+    parser.add_argument(
+        "--audit-rate",
+        type=_audit_rate_arg,
+        default=DEFAULT_AUDIT_RATE,
+        metavar="FRACTION",
+        help="fraction of faults re-simulated on an independent path to "
+        "catch silent result corruption (0 disables; default: "
+        f"{DEFAULT_AUDIT_RATE} -- see docs/integrity.md)",
+    )
+    parser.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="abort on the first integrity violation instead of "
+        "quarantining the offending fault and continuing (default: "
+        "--no-strict)",
+    )
+    parser.add_argument(
+        "--chaos",
+        type=_chaos_arg,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for testing the recovery and "
+        "integrity layers, e.g. 'crash:0.15,hang:0.1,bitflip:1,seed:7' "
+        "(see docs/integrity.md)",
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="FILE",
+        help="write a machine-readable campaign/integrity report to FILE",
+    )
     parser.add_argument("--encoding", default="binary", choices=["binary", "gray", "onehot"])
     parser.add_argument(
         "--output-style", default="pla", choices=["pla", "decoded", "minimized"]
@@ -373,6 +462,14 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_dump_vcd)
 
     args = parser.parse_args(argv)
+    if getattr(args, "chaos", None) and getattr(args, "timeout", None) is None:
+        from .testing.chaos import ChaosSpec
+
+        if ChaosSpec.parse(args.chaos).hang:
+            parser.error(
+                "--chaos hang injection needs --timeout "
+                "(a hung worker would otherwise stall the campaign forever)"
+            )
     return args.func(args)
 
 

@@ -11,13 +11,16 @@ the journal behind that:
   seeds) into a short stable id;
 * :class:`CampaignJournal` appends one JSON line per completed fault to
   ``<dir>/<kind>-<fingerprint>.jsonl`` (flushed and fsynced per record,
-  so a SIGKILL loses at most the record being written);
+  so a SIGKILL loses at most the record being written); every record
+  carries a CRC-32 of its payload, so corruption *inside* the journal
+  (a flipped bit from a bad disk or a tampering hand) is detected even
+  when the line still parses as JSON;
 * on resume the journal is reloaded, its header fingerprint checked
   against the requesting campaign, and a half-written final line (the
   kill signature) silently dropped.  Any other corruption -- a garbage
-  header, a mangled interior line, a foreign fingerprint -- raises
-  :class:`~repro.core.errors.CheckpointMismatch` rather than silently
-  grading the wrong design.
+  header, a mangled interior line, a CRC mismatch, a foreign
+  fingerprint -- raises :class:`~repro.core.errors.CheckpointMismatch`
+  rather than silently resuming from bad state.
 
 Because every per-fault result is deterministic and independent, a
 resumed campaign is bit-identical to an uninterrupted one: the skipped
@@ -30,15 +33,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from .errors import CheckpointMismatch
 
 #: bumped whenever the journal line format changes incompatibly
-FORMAT_VERSION = 1
+#: (v2: per-record CRC-32, non-finite floats rejected at write time)
+FORMAT_VERSION = 2
 
 _MAGIC = "repro-campaign-checkpoint"
+
+
+def _record_crc(key: str, value: Any) -> str:
+    """CRC-32 over the canonical JSON payload of one journal record."""
+    payload = json.dumps([key, value], sort_keys=True, allow_nan=False)
+    return f"{zlib.crc32(payload.encode('utf-8')):08x}"
 
 
 def fault_key(site: Any) -> str:
@@ -136,24 +147,44 @@ class CampaignJournal:
                 continue
             try:
                 entry = json.loads(line)
-                key, value = entry["key"], entry["value"]
+                key, value, crc = entry["key"], entry["value"], entry["crc"]
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 if is_last and truncated_tail:
                     break  # torn final record from an interrupted write
                 raise CheckpointMismatch(
                     f"checkpoint {self.path} line {lineno} is corrupt: {exc}"
                 ) from exc
+            if crc != _record_crc(key, value):
+                # A flipped bit can still parse as JSON (a digit in a power
+                # word, a character inside a key); the CRC catches it even
+                # mid-journal.  A torn tail record is still forgiven.
+                if is_last and truncated_tail:
+                    break
+                raise CheckpointMismatch(
+                    f"checkpoint {self.path} line {lineno} fails its CRC "
+                    f"(stored {crc!r}, computed {_record_crc(key, value)!r}) "
+                    f"-- refusing to resume from corrupted state"
+                )
             done[key] = value
         return done
 
     # ----------------------------------------------------------- recording
     def record(self, key: str, value: Any) -> None:
-        """Journal one fault's result durably (survives SIGKILL)."""
+        """Journal one fault's result durably (survives SIGKILL).
+
+        The record is written with ``allow_nan=False``: a NaN or infinity
+        in a result is a corrupted computation, and journaling it would
+        let the corruption survive into every future resume.
+        """
         if key in self.done:
             return
+        line = json.dumps(
+            {"key": key, "value": value, "crc": _record_crc(key, value)},
+            allow_nan=False,
+        )
         self.done[key] = value
         with open(self.path, "a", encoding="utf-8") as f:
-            f.write(json.dumps({"key": key, "value": value}) + "\n")
+            f.write(line + "\n")
             f.flush()
             os.fsync(f.fileno())
 

@@ -11,7 +11,12 @@ shapes, each with its own exception so callers can react precisely:
 * :class:`ChunkTimeout` -- a chunk of work exceeded its per-chunk budget
   on every allowed attempt;
 * :class:`CheckpointMismatch` -- a checkpoint file does not belong to
-  this campaign (wrong fingerprint) or is structurally corrupt.
+  this campaign (wrong fingerprint) or is structurally corrupt;
+* :class:`IntegrityError` -- a result failed an integrity check (a
+  differential audit diverged, a power value went non-finite or broke a
+  theory-grounded invariant) and the campaign runs in strict mode, or
+  the violation poisons everything downstream (a bad fault-free
+  baseline).  See :mod:`repro.core.integrity`.
 
 The validators run *before* any process pool, golden-trace simulation or
 batch precomputation, so a bad netlist, stimulus or config is rejected in
@@ -38,6 +43,11 @@ class ChunkTimeout(CampaignError, TimeoutError):
 
 class CheckpointMismatch(CampaignError):
     """A checkpoint file belongs to a different campaign or is corrupt."""
+
+
+class IntegrityError(CampaignError):
+    """A result failed an integrity check and cannot be quarantined away
+    (strict mode, or a poisoned fault-free baseline)."""
 
 
 # ------------------------------------------------------------- validators
@@ -101,3 +111,18 @@ def validate_config(config: Any) -> None:
     max_retries = getattr(config, "max_retries", 0)
     if max_retries < 0:
         raise CampaignError(f"max_retries must be >= 0, got {max_retries}")
+    audit_rate = getattr(config, "audit_rate", 0.0)
+    if not 0.0 <= audit_rate < 1.0:
+        raise CampaignError(
+            f"audit_rate must be a fraction in [0, 1), got {audit_rate}"
+        )
+    chaos = getattr(config, "chaos", None)
+    if chaos is not None:
+        from ..testing.chaos import ChaosSpec  # deferred: avoid a module cycle
+
+        spec = ChaosSpec.parse(chaos)  # raises CampaignError on a bad spec
+        if spec.hang > 0 and timeout is None:
+            raise CampaignError(
+                "chaos hang injection needs a per-chunk timeout "
+                "(a hung worker would otherwise stall the campaign forever)"
+            )

@@ -11,6 +11,7 @@ by increasing power.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,7 +26,18 @@ from ..power.montecarlo import (
 )
 from ..tpg.tpgr import TPGR
 from .checkpoint import campaign_fingerprint, fault_key, open_journal
-from .errors import CampaignError, validate_netlist
+from .errors import CampaignError, IntegrityError, validate_netlist
+from .integrity import (
+    DEFAULT_AUDIT_RATE,
+    IntegrityGuard,
+    IntegrityViolation,
+    adds_register_loads,
+    check_finite_power,
+    check_load_monotonicity,
+    check_power_ceiling,
+    format_value,
+    select_audit,
+)
 from .parallel import ParallelExecutor, RunReport
 from .pipeline import FaultRecord, PipelineResult
 
@@ -106,6 +118,9 @@ def grade_sfr_faults(
     max_retries: int = 2,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    audit_rate: float = DEFAULT_AUDIT_RATE,
+    strict: bool = False,
+    chaos=None,
 ) -> GradingResult:
     """Monte-Carlo grade every SFR fault of a pipeline result.
 
@@ -116,6 +131,19 @@ def grade_sfr_faults(
     set, the baseline and every per-fault result are journaled as they
     complete, and a rerun with ``resume=True`` replays journaled powers
     bit-identically instead of recomputing them.
+
+    Integrity layer (see :mod:`repro.core.integrity`): the fault-free
+    baseline must be finite, positive and below the estimator's
+    theoretical ceiling, or the whole grading aborts (a poisoned
+    baseline poisons every percentage).  Every per-fault power is held
+    to the same finite/ceiling invariants, register-load-adding faults
+    to Section-5 monotonicity, and a hash-selected ``audit_rate``
+    fraction is recomputed through the generate-per-call Monte-Carlo
+    path (independent of the batch-replay path used by the campaign).
+    A violating fault is excluded from ``graded`` and recorded on the
+    campaign report -- or, with ``strict=True``, aborts the run.
+    ``chaos`` optionally injects worker crashes/hangs and power-word
+    bit-flips (test and CI use only).
     """
     validate_netlist(system.netlist)
     if not 0 < threshold < 1:
@@ -153,6 +181,10 @@ def grade_sfr_faults(
     report = RunReport(n_items=len(records), resumed=len(records) - len(todo))
 
     estimator = estimator or PowerEstimator(system.netlist)
+    guard = IntegrityGuard(strict=strict)
+    audit_keys = set(select_audit([fault_key(r.system_site) for r in records], audit_rate))
+    if chaos is not None:
+        chaos.set_flip_targets(sorted(audit_keys))
     context = None
     if todo or _BASELINE_KEY not in mc_by_key:
         batches = precompute_batches(
@@ -169,35 +201,98 @@ def grade_sfr_faults(
         base = _grade_worker(context, None)
         if journal is not None:
             journal.record(_BASELINE_KEY, base.to_json_dict())
+    # The baseline divides every percentage, so it cannot be quarantined:
+    # a bad value here aborts unconditionally, strict or not.
+    ceiling_uw = estimator.theoretical_max_uw()
+    if not (math.isfinite(base.power_uw) and 0 < base.power_uw <= ceiling_uw):
+        raise IntegrityError(
+            f"fault-free Monte-Carlo power {base.power_uw!r} uW is unusable "
+            f"(must be finite, positive and <= the theoretical ceiling "
+            f"{ceiling_uw:.6g} uW); a poisoned baseline poisons every grade"
+        )
     if todo:
 
         def _journal_chunk(sites, results) -> None:
             for site, mc in zip(sites, results):
                 key = fault_key(site)
+                if chaos is not None:
+                    mc = chaos.tamper_power(key, mc)
                 mc_by_key[key] = mc
                 if journal is not None:
                     journal.record(key, mc.to_json_dict())
 
+        worker, run_context = _grade_worker, context
+        if chaos is not None:
+            worker, run_context = chaos.wrap(worker, run_context)
         executor = ParallelExecutor(n_jobs, timeout=timeout, max_retries=max_retries)
         executor.run(
-            _grade_worker,
+            worker,
             [r.system_site for r in todo],
-            context,
+            run_context,
             on_chunk=_journal_chunk,
         )
         assert executor.last_report is not None
         report = executor.last_report
         report.n_items = len(records)
         report.resumed = len(records) - len(todo)
+
+    # Differential audit: recompute the hash-selected subset through the
+    # generate-per-call Monte-Carlo path (fresh data from the same seed --
+    # bit-identical to batch replay by construction) and require exact
+    # agreement with the campaign's value.
+    quarantined_keys: set[str] = set()
+    audited = [r for r in records if fault_key(r.system_site) in audit_keys]
+    for record in audited:
+        key = fault_key(record.system_site)
+        reference = monte_carlo_power(
+            system,
+            estimator,
+            fault=record.system_site,
+            seed=seed,
+            batch_patterns=batch_patterns,
+            max_batches=max_batches,
+            iterations_window=iterations_window,
+        )
+        got = mc_by_key[key]
+        if got.power_uw != reference.power_uw or got.batches != reference.batches:
+            guard.flag(
+                IntegrityViolation(
+                    check="grading-differential",
+                    fault=key,
+                    site=record.site.describe(system.controller.netlist),
+                    detail=(
+                        "batch-replay Monte-Carlo power diverges from the "
+                        "generate-per-call recomputation; fault excluded "
+                        "from grading"
+                    ),
+                    expected=format_value(reference.power_uw),
+                    actual=format_value(got.power_uw),
+                )
+            )
+            quarantined_keys.add(key)
+
     graded: list[GradedFault] = []
     for record in records:
-        mc = mc_by_key[fault_key(record.system_site)]
+        key = fault_key(record.system_site)
+        if key in quarantined_keys:
+            continue
+        mc = mc_by_key[key]
         assert record.classification is not None
+        site_desc = record.site.describe(system.controller.netlist)
+        if not check_finite_power(guard, key, mc.power_uw, site_desc):
+            continue
+        if not check_power_ceiling(guard, key, mc.power_uw, ceiling_uw, site_desc):
+            continue
         group = "load" if record.classification.affects_load_line else "select"
         pct = 100.0 * (mc.power_uw - base.power_uw) / base.power_uw
+        if adds_register_loads(record.classification) and not check_load_monotonicity(
+            guard, key, pct, site_desc
+        ):
+            continue
         graded.append(
             GradedFault(record=record, power_uw=mc.power_uw, pct_change=pct, group=group)
         )
+    guard.attach(report, audited=len(audited))
     # Figure 7 ordering: select-only faults first, then load-line faults,
     # each sorted by increasing power.
     graded.sort(key=lambda g: (g.group != "select", g.power_uw))

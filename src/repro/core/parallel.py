@@ -109,6 +109,13 @@ class RunReport:
     #: (filled by the campaign layer, not by the executor)
     resumed: int = 0
     chunks: list[ChunkOutcome] = field(default_factory=list)
+    #: faults re-evaluated on an independent path by the integrity layer
+    #: (filled by the campaign layer; see :mod:`repro.core.integrity`)
+    audited: int = 0
+    #: distinct faults quarantined by integrity violations
+    quarantined: int = 0
+    #: structured integrity violations recorded by the guard layer
+    violations: list = field(default_factory=list)
 
     def has_incidents(self) -> bool:
         """True if anything beyond a clean first-attempt run happened."""
@@ -118,6 +125,7 @@ class RunReport:
             or self.crashes
             or self.pool_rebuilds
             or self.serial_fallbacks
+            or self.violations
         )
 
 

@@ -31,6 +31,7 @@ from ..tpg.tpgr import TPGR
 from .checkpoint import campaign_fingerprint, fault_key, open_journal
 from .classify import Classifier, FaultClassification
 from .errors import validate_config, validate_netlist, validate_stimulus
+from .integrity import DEFAULT_AUDIT_RATE, IntegrityGuard, check_sfr_is_cfi
 from .parallel import RunReport
 
 
@@ -57,9 +58,23 @@ class PipelineConfig:
     timeout: float | None = None
     #: extra attempts granted to a failed/timed-out chunk of work.
     max_retries: int = 2
+    #: fraction of faults re-simulated on an independent path after the
+    #: campaign (see :mod:`repro.core.integrity`); 0 disables the audit.
+    audit_rate: float = DEFAULT_AUDIT_RATE
+    #: abort on the first integrity violation instead of quarantining the
+    #: offending fault and continuing.
+    strict: bool = False
+    #: chaos-injection spec (test/CI only), e.g.
+    #: ``"crash:0.15,hang:0.1,bitflip:1,seed:7"``; None disables it.
+    chaos: str | None = None
 
     def fingerprint_params(self) -> dict:
-        """The result-relevant knobs that key a campaign checkpoint."""
+        """The result-relevant knobs that key a campaign checkpoint.
+
+        Audit, strict and chaos knobs are deliberately absent: none of
+        them changes the results of a clean campaign, so toggling them
+        must not orphan an existing journal.
+        """
         return {
             "n_patterns": self.n_patterns,
             "tpgr_seed": self.tpgr_seed,
@@ -77,6 +92,9 @@ class FaultRecord:
     system_site: FaultSite
     simulation: Verdict
     classification: FaultClassification | None = None
+    #: set when an integrity check rejected this fault's result; a
+    #: quarantined record is excluded from downstream grading.
+    quarantined: bool = False
 
     @property
     def category(self) -> str:
@@ -112,7 +130,7 @@ class PipelineResult:
 
     @property
     def sfr_records(self) -> list[FaultRecord]:
-        return self.by_category("SFR")
+        return [r for r in self.by_category("SFR") if not r.quarantined]
 
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -172,6 +190,13 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         ),
         resume=config.resume,
     )
+    chaos_engine = None
+    if config.chaos:
+        # Deferred: the chaos harness lives in the test-support package and
+        # only loads when injection is actually requested.
+        from ..testing.chaos import ChaosEngine
+
+        chaos_engine = ChaosEngine.from_spec(config.chaos)
     sim_result = fault_simulate(
         system.netlist,
         system_sites,
@@ -182,7 +207,12 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         timeout=config.timeout,
         max_retries=config.max_retries,
         checkpoint=journal,
+        audit_rate=config.audit_rate,
+        strict=config.strict,
+        chaos=chaos_engine,
     )
+    if chaos_engine is not None and chaos_engine.spec.corrupt and journal is not None:
+        chaos_engine.corrupt_journal(journal.path)
 
     # Steps 2-4.
     # The classifier picks its own (longer, adaptive) HOLD window -- it must
@@ -194,10 +224,16 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         iteration_counts=config.iteration_counts,
     )
     result = PipelineResult(design=system.rtl.name, campaign=sim_result.campaign)
+    guard = IntegrityGuard(strict=config.strict)
     for site, sys_site in zip(universe, system_sites):
         verdict = sim_result.verdicts[sys_site]
         record = FaultRecord(site=site, system_site=sys_site, simulation=verdict)
         if verdict is Verdict.UNDETECTED:
             record.classification = classifier.classify(site)
+            if record.classification.category == "SFR" and not check_sfr_is_cfi(
+                guard, fault_key(sys_site), record
+            ):
+                record.quarantined = True
         result.records.append(record)
+    guard.attach(result.campaign)
     return result

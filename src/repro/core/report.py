@@ -127,6 +127,9 @@ def campaign_summary_row(report: RunReport) -> dict:
         "worker_crashes": report.crashes,
         "pool_rebuilds": report.pool_rebuilds,
         "serial_fallbacks": report.serial_fallbacks,
+        "audited": report.audited,
+        "quarantined": report.quarantined,
+        "integrity_violations": len(report.violations),
     }
 
 
@@ -150,7 +153,45 @@ def render_campaign_summary(report: RunReport, title: str = "campaign") -> str:
         parts.append(f"{report.pool_rebuilds} pool rebuilds")
     if report.serial_fallbacks:
         parts.append(f"{report.serial_fallbacks} serial fallbacks")
+    if report.audited:
+        parts.append(f"{report.audited} audited")
+    if report.violations:
+        parts.append(
+            f"{len(report.violations)} integrity violation"
+            f"{'s' if len(report.violations) != 1 else ''} "
+            f"({report.quarantined} fault{'s' if report.quarantined != 1 else ''} "
+            f"quarantined)"
+        )
     return f"{title}: " + ", ".join(parts)
+
+
+def render_integrity_violations(report: RunReport, title: str = "integrity") -> str:
+    """Multi-line listing of a campaign's integrity violations.
+
+    Empty string when the campaign was clean, so callers can
+    unconditionally append the rendering.
+    """
+    if not report.violations:
+        return ""
+    lines = [f"{title}: {len(report.violations)} violation(s) quarantined"]
+    lines.extend(f"  {v.describe()}" for v in report.violations)
+    return "\n".join(lines)
+
+
+def build_json_report(campaigns: dict[str, RunReport | None]) -> dict:
+    """JSON-ready machine report of every campaign stage's resilience
+    and integrity counters (the ``--report-json`` artifact CI archives)."""
+    out: dict = {"campaigns": {}, "violations": []}
+    for stage, report in campaigns.items():
+        if report is None:
+            continue
+        out["campaigns"][stage] = campaign_summary_row(report)
+        out["violations"].extend(
+            dict(v.to_json_dict(), stage=stage) for v in report.violations
+        )
+    out["total_violations"] = len(out["violations"])
+    out["clean"] = not out["violations"]
+    return out
 
 
 # ----------------------------------------------------------------- Figure 7

@@ -6,14 +6,18 @@ zero-delay event loop (changed net -> re-evaluate fanout gates until the
 wavefront dies out).  It exists to cross-validate the vectorised compiled
 simulator -- the property tests in ``tests/test_eventsim.py`` drive both
 engines with the same stimulus over randomly generated netlists and
-require bit-identical traces.
+require bit-identical traces, and the integrity layer's differential
+audit (:func:`crosscheck_compiled`) replays pattern 0 of a live campaign
+stimulus through both engines via :class:`PatternZeroShim`.
 
-It is 10-100x slower per pattern and is not used by the pipeline.
+It is 10-100x slower per pattern and never computes pipeline results.
 """
 
 from __future__ import annotations
 
 from collections import deque
+
+import numpy as np
 
 from ..netlist.gates import GateType, is_constant, is_sequential
 from ..netlist.netlist import Netlist
@@ -167,3 +171,70 @@ class EventSimulator:
                 return X
             out |= v << i
         return out
+
+
+class PatternZeroShim:
+    """Drive adapter replaying pattern 0 of any packed stimulus.
+
+    Presents the :class:`~repro.logic.simulator.CycleSimulator` drive API
+    (``drive_words`` / ``drive`` / ``drive_const`` / ``drive_bus``) on
+    top of an :class:`EventSimulator`, extracting bit 0 of each plane --
+    so an arbitrary campaign :class:`~repro.logic.faultsim.Stimulus`
+    drives the scalar reference engine unmodified.
+    """
+
+    def __init__(self, esim: EventSimulator, n_patterns: int):
+        self._esim = esim
+        # Stimuli validate the simulator's pattern count before driving.
+        self.n_patterns = n_patterns
+
+    def drive_words(self, net: int, zero, one) -> None:
+        z = int(np.asarray(zero).reshape(-1)[0]) & 1
+        o = int(np.asarray(one).reshape(-1)[0]) & 1
+        self._esim.drive_const(net, 1 if o else (0 if z else X))
+
+    def drive(self, net: int, bits) -> None:
+        self._esim.drive_const(net, int(np.asarray(bits).reshape(-1)[0]) & 1)
+
+    def drive_const(self, net: int, value: int) -> None:
+        self._esim.drive_const(net, value)
+
+    def drive_bus(self, nets: list[int], words) -> None:
+        value = int(np.asarray(words).reshape(-1)[0])
+        for i, net in enumerate(nets):
+            self._esim.drive_const(net, (value >> i) & 1)
+
+
+def crosscheck_compiled(
+    netlist: Netlist,
+    stimulus,
+    observe: list[int],
+    fault: FaultSite | None = None,
+) -> int:
+    """Replay pattern 0 of ``stimulus`` through both engines and compare.
+
+    Runs the compiled pattern-parallel simulator and the event-driven
+    reference side by side for every cycle of the stimulus (with the same
+    optional injected fault) and compares the three-valued samples of
+    every observed net after each settle.  Returns the first cycle where
+    any observed net disagrees, or -1 when the engines are bit-identical
+    -- the integrity layer turns a non-negative return into an
+    ``IntegrityViolation`` naming the cycle.
+    """
+    from .simulator import CycleSimulator
+
+    faults = [fault] if fault is not None else None
+    csim = CycleSimulator(netlist, stimulus.n_patterns, faults=faults)
+    esim = EventSimulator(netlist, faults=faults)
+    shim = PatternZeroShim(esim, stimulus.n_patterns)
+    for cycle in range(stimulus.n_cycles):
+        stimulus.apply(csim, cycle)
+        stimulus.apply(shim, cycle)
+        csim.settle()
+        esim.settle()
+        for net in observe:
+            if int(csim.sample(net)[0]) != esim.sample(net):
+                return cycle
+        csim.latch()
+        esim.latch()
+    return -1

@@ -31,6 +31,13 @@ from typing import Protocol
 import numpy as np
 
 from ..core.checkpoint import CampaignJournal, fault_key
+from ..core.integrity import (
+    DEFAULT_AUDIT_RATE,
+    DEFAULT_EVENTSIM_CHECKS,
+    IntegrityGuard,
+    IntegrityViolation,
+    select_audit,
+)
 from ..core.parallel import ParallelExecutor, RunReport
 from ..netlist.netlist import Netlist
 from . import values as V
@@ -238,6 +245,10 @@ def fault_simulate(
     timeout: float | None = None,
     max_retries: int = 2,
     checkpoint: CampaignJournal | None = None,
+    audit_rate: float = DEFAULT_AUDIT_RATE,
+    strict: bool = False,
+    chaos=None,
+    eventsim_checks: int = DEFAULT_EVENTSIM_CHECKS,
 ) -> FaultSimResult:
     """Fault simulation of ``faults`` under ``stimulus``.
 
@@ -247,6 +258,15 @@ def fault_simulate(
     bit-identical for every combination of the two knobs -- and for any
     interruption point of a checkpointed campaign, because every per-fault
     verdict is deterministic and independent.
+
+    A hash-selected ``audit_rate`` fraction of the final verdicts is then
+    re-derived through the serial per-fault simulator (an independent
+    code path from the block-parallel workers), with the first few
+    audited faults additionally cross-checked against the scalar
+    event-driven engine.  A divergence is flagged as an
+    :class:`~repro.core.integrity.IntegrityViolation` on the campaign
+    report, and the fault's verdict falls back to the trusted serial
+    reference (or, with ``strict=True``, the campaign aborts).
 
     Args:
         netlist: the design (controller-datapath system in the pipeline).
@@ -264,19 +284,34 @@ def fault_simulate(
         checkpoint: optional campaign journal; faults already journaled are
             skipped and replayed from disk, newly simulated faults are
             journaled as their chunk completes.
+        audit_rate: fraction of faults re-simulated serially (0 disables
+            the audit); selection is a pure hash of the fault key, so the
+            audit set is identical for any job count or resume point.
+        strict: abort on the first integrity violation instead of
+            quarantining the fault and continuing.
+        chaos: optional :class:`~repro.testing.chaos.ChaosEngine`
+            injecting worker crashes/hangs and verdict bit-flips (test
+            and CI use only).
+        eventsim_checks: cap on audited faults also replayed through the
+            event-driven reference engine (it is far slower per pattern).
     """
     if observe is None:
         observe = list(netlist.outputs)
+    keys = {f: fault_key(f) for f in faults}
     done: dict[FaultSite, tuple[Verdict, int]] = {}
     todo = list(faults)
     if checkpoint is not None:
         for fault in faults:
-            entry = checkpoint.done.get(fault_key(fault))
+            entry = checkpoint.done.get(keys[fault])
             if entry is not None:
                 done[fault] = (Verdict(entry[0]), int(entry[1]))
         todo = [f for f in faults if f not in done]
     outcomes_by_fault: dict[FaultSite, tuple[Verdict, int]] = dict(done)
     report = RunReport(n_items=len(faults), resumed=len(done))
+    audit_keys = set(select_audit([keys[f] for f in faults], audit_rate))
+    if chaos is not None:
+        chaos.set_flip_targets(sorted(audit_keys))
+    golden: list | None = None
     if todo:
         compile_netlist(netlist)  # warm the shared compile before fanning out
         golden = run_golden(netlist, stimulus, observe)
@@ -289,20 +324,78 @@ def fault_simulate(
         def _journal_chunk(items, results) -> None:
             for chunk, chunk_out in zip(items, results):
                 for fault, (verdict, cycle) in zip(chunk, chunk_out):
+                    if chaos is not None:
+                        verdict, cycle = chaos.tamper_verdict(
+                            keys[fault], (verdict, cycle)
+                        )
                     outcomes_by_fault[fault] = (verdict, cycle)
                     if checkpoint is not None:
-                        checkpoint.record(fault_key(fault), [verdict.value, cycle])
+                        checkpoint.record(keys[fault], [verdict.value, cycle])
 
+        worker, run_context = _fault_chunk_worker, context
+        if chaos is not None:
+            worker, run_context = chaos.wrap(worker, run_context)
         executor = ParallelExecutor(
             n_jobs, chunk_size=1, timeout=timeout, max_retries=max_retries
         )
-        executor.run(_fault_chunk_worker, chunks, context, on_chunk=_journal_chunk)
+        executor.run(worker, chunks, run_context, on_chunk=_journal_chunk)
         assert executor.last_report is not None
         report = executor.last_report
         # the executor counted fault-chunks; report in faults
         report.n_items = len(faults)
         report.completed = len(todo)
         report.resumed = len(done)
+
+    # Differential audit: re-derive the hash-selected subset through the
+    # serial per-fault path and compare against the campaign's verdicts.
+    guard = IntegrityGuard(strict=strict)
+    audited = [f for f in faults if keys[f] in audit_keys]
+    if audited:
+        if golden is None:  # fully resumed run never built the reference
+            compile_netlist(netlist)
+            golden = run_golden(netlist, stimulus, observe)
+        for fault in audited:
+            reference = simulate_one_fault(
+                netlist, fault, stimulus, observe, golden, valid_masks
+            )
+            got = outcomes_by_fault[fault]
+            if got != reference:
+                guard.flag(
+                    IntegrityViolation(
+                        check="faultsim-differential",
+                        fault=keys[fault],
+                        site=fault.describe(netlist),
+                        detail=(
+                            "campaign verdict diverges from the serial "
+                            "reference simulation; quarantined to the "
+                            "reference"
+                        ),
+                        cycle=max(got[1], reference[1]),
+                        expected=f"{reference[0].value}@{reference[1]}",
+                        actual=f"{got[0].value}@{got[1]}",
+                    )
+                )
+                outcomes_by_fault[fault] = reference
+        # Spot-check the compiled engine itself against the scalar
+        # event-driven reference on a capped handful of audited faults.
+        from .eventsim import crosscheck_compiled
+
+        for fault in sorted(audited, key=lambda f: keys[f])[: max(0, eventsim_checks)]:
+            divergent = crosscheck_compiled(netlist, stimulus, observe, fault)
+            if divergent >= 0:
+                guard.flag(
+                    IntegrityViolation(
+                        check="eventsim-crosscheck",
+                        fault=keys[fault],
+                        site=fault.describe(netlist),
+                        detail=(
+                            "compiled simulator diverges from the "
+                            "event-driven reference on an observed net"
+                        ),
+                        cycle=divergent,
+                    )
+                )
+    guard.attach(report, audited=len(audited))
     result = FaultSimResult(verdicts={}, campaign=report)
     for fault in faults:
         verdict, cycle = outcomes_by_fault[fault]

@@ -8,10 +8,12 @@ tag prefix (the paper reports power for the *datapath*).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.errors import IntegrityError
 from ..netlist.gates import GateType
 from ..netlist.netlist import Netlist
 from ..logic.simulator import CycleSimulator
@@ -77,6 +79,58 @@ class PowerEstimator:
             minlength=len(self._tags),
         )
         self._prefix_cache: dict[str | None, np.ndarray] = {}
+        if not np.isfinite(self.net_cap_ff).all():
+            bad = int(np.flatnonzero(~np.isfinite(self.net_cap_ff))[0])
+            raise IntegrityError(
+                f"net {netlist.net_names[bad]!r} has a non-finite switched "
+                f"capacitance ({self.net_cap_ff[bad]!r} fF) -- broken library"
+            )
+
+    def theoretical_max_uw(self) -> float:
+        """Hard physical ceiling on any power this estimator can report.
+
+        Every net toggles every cycle in every pattern, every DFFE loads
+        every cycle, every DFF clocks every cycle.  The per-cycle
+        normalisation cancels the cycle count, so the bound is a single
+        number per netlist.  Any reported power above it is corrupt --
+        a flipped exponent bit, an overflowed accumulator -- no matter
+        which fault produced it.
+        """
+        lib = self.library
+        cap_ff = (
+            float(self.net_cap_ff.sum())
+            + len(self.dffe_gates) * lib.dffe_clock_cap
+            + self.n_dff * lib.dff_clock_cap
+        )
+        return cap_ff * lib.energy_per_ff() * lib.f_clk * 1e6
+
+    def _check_counters(self, sim: CycleSimulator) -> None:
+        """Bound-check toggle/load counters at the accumulation boundary.
+
+        A toggle count is a popcount over patterns accumulated once per
+        settle, so no net can exceed ``cycles x patterns``; a DFFE loads
+        at most once per cycle per pattern.  A counter outside those
+        bounds means the simulation state itself is corrupt, and the
+        offending net is named so the error points at the gate where the
+        bad value entered, not at the final table.
+        """
+        limit = sim.cycles_run * sim.n_patterns
+        toggles = sim.toggles
+        if toggles.min(initial=0) < 0 or toggles.max(initial=0) > limit:
+            bad = int(np.flatnonzero((toggles < 0) | (toggles > limit))[0])
+            raise IntegrityError(
+                f"net {self.netlist.net_names[bad]!r} reports {toggles[bad]} "
+                f"toggles; the physical bound is {limit} "
+                f"({sim.cycles_run} cycles x {sim.n_patterns} patterns)"
+            )
+        loads = sim.load_events
+        if loads.size and (loads.min() < 0 or loads.max() > limit):
+            bad_row = int(np.flatnonzero((loads < 0) | (loads > limit))[0])
+            gate = self.dffe_gates[bad_row]
+            raise IntegrityError(
+                f"register {gate.name!r} reports {loads[bad_row]} load "
+                f"events; the physical bound is {limit}"
+            )
 
     def _tag_selected(self, tag: str, prefix: str | None) -> bool:
         return prefix is None or tag.startswith(prefix)
@@ -106,6 +160,7 @@ class PowerEstimator:
         patterns = sim.n_patterns
         if cycles == 0:
             raise ValueError("no cycles simulated")
+        self._check_counters(sim)
         denom = cycles * patterns
         e_ff = lib.energy_per_ff()
 
@@ -145,8 +200,14 @@ class PowerEstimator:
         }
 
         to_uw = e_ff * lib.f_clk / denom * 1e6
+        total_uw = (sw_energy_ff + clk_energy_ff) * to_uw
+        if not math.isfinite(total_uw):
+            raise IntegrityError(
+                f"estimated power is non-finite ({total_uw!r} uW) -- "
+                f"switching {sw_energy_ff!r} fF, clock {clk_energy_ff!r} fF"
+            )
         return PowerResult(
-            total_uw=(sw_energy_ff + clk_energy_ff) * to_uw,
+            total_uw=total_uw,
             switching_uw=sw_energy_ff * to_uw,
             clock_uw=clk_energy_ff * to_uw,
             by_tag={k: v * to_uw for k, v in sorted(by_tag_ff.items())},

@@ -20,10 +20,13 @@ generate-per-call path for the same seed and batch size.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.errors import IntegrityError
 from ..hls.system import NormalModeStimulus, System
 from ..logic.faults import FaultSite
 from ..logic.simulator import CycleSimulator
@@ -79,8 +82,16 @@ class MonteCarloResult:
         """JSON-safe form for campaign checkpoints.
 
         Floats round-trip exactly through JSON, so a result replayed from
-        a journal is bit-identical to the freshly computed one.
+        a journal is bit-identical to the freshly computed one.  A NaN or
+        infinite power is a corrupted computation: serializing it would
+        smuggle the corruption into checkpoints and reports, so it is
+        rejected here (and by ``to_json``'s ``allow_nan=False``).
         """
+        if not all(math.isfinite(v) for v in [self.power_uw, *self.history]):
+            raise IntegrityError(
+                f"refusing to serialize a non-finite Monte-Carlo power "
+                f"(power_uw={self.power_uw!r}, history={self.history!r})"
+            )
         return {
             "power_uw": self.power_uw,
             "batches": self.batches,
@@ -88,6 +99,10 @@ class MonteCarloResult:
             "history": list(self.history),
             "converged": self.converged,
         }
+
+    def to_json(self) -> str:
+        """Strict JSON encoding (``allow_nan=False``)."""
+        return json.dumps(self.to_json_dict(), allow_nan=False)
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "MonteCarloResult":
@@ -98,6 +113,10 @@ class MonteCarloResult:
             history=[float(h) for h in data["history"]],
             converged=bool(data["converged"]),
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MonteCarloResult":
+        return cls.from_json_dict(json.loads(text))
 
 
 def random_data(system: System, rng: np.random.Generator, n_patterns: int) -> dict[str, np.ndarray]:
@@ -191,6 +210,14 @@ def monte_carlo_power(
             iterations_window=iterations_window,
             hold_cycles=hold_cycles,
         )
+        # Accumulation boundary guard: one bad batch must be caught here,
+        # where it enters, not after it has been averaged into the final
+        # table (a NaN poisons every later mean silently).
+        if not math.isfinite(result.total_uw) or result.total_uw < 0:
+            raise IntegrityError(
+                f"Monte-Carlo batch {batch} produced an unusable power "
+                f"{result.total_uw!r} uW (fault={fault!r})"
+            )
         totals.append(result.total_uw)
         mean = float(np.mean(totals))
         history.append(mean)

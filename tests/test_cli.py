@@ -139,3 +139,74 @@ def test_strategies_command(capsys):
     out = capsys.readouterr().out
     assert "Test strategy comparison" in out
     assert "integrated logic test" in out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--audit-rate", "1.0", "classify", "facet"],
+        ["--audit-rate", "-0.1", "classify", "facet"],
+        ["--audit-rate", "most", "classify", "facet"],
+        ["--chaos", "explode:1", "classify", "facet"],
+        ["--chaos", "crash:1.5", "classify", "facet"],
+        ["--chaos", "bitflip:maybe", "classify", "facet"],
+    ],
+)
+def test_bad_integrity_flags_rejected_by_argparse(argv, capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(argv)
+    assert exc_info.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_chaos_hang_without_timeout_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["--chaos", "hang:0.5", "classify", "facet"])
+    assert "timeout" in capsys.readouterr().err
+
+
+def test_classify_reports_audit_and_writes_report_json(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "report.json"
+    rc = main(
+        ["--patterns", "64", "--audit-rate", "0.25",
+         "--report-json", str(report), "classify", "facet"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "audited" in out
+    data = json.loads(report.read_text())
+    assert data["clean"] is True
+    assert data["total_violations"] == 0
+    assert data["campaigns"]["faultsim"]["audited"] > 0
+
+
+def test_chaos_bitflip_run_quarantines_and_reports(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "chaos-report.json"
+    rc = main(
+        ["--patterns", "64", "--audit-rate", "0.5",
+         "--chaos", "bitflip:1,seed:7", "--report-json", str(report),
+         "classify", "facet"]
+    )
+    assert rc == 0  # quarantined, not fatal
+    out = capsys.readouterr().out
+    assert "integrity" in out
+    data = json.loads(report.read_text())
+    assert data["clean"] is False
+    assert data["total_violations"] >= 1
+    assert any(
+        v["check"] == "faultsim-differential" for v in data["violations"]
+    )
+
+
+def test_strict_chaos_run_aborts(capsys):
+    from repro.core.errors import IntegrityError
+
+    with pytest.raises(IntegrityError, match="strict mode"):
+        main(
+            ["--patterns", "64", "--audit-rate", "0.5", "--strict",
+             "--chaos", "bitflip:1,seed:7", "classify", "facet"]
+        )

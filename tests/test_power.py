@@ -138,3 +138,40 @@ class TestMonteCarlo:
         res = measure_power(facet_system, est, data)
         assert res.total_uw > 0
         assert res.patterns == 32
+
+
+class TestMonteCarloSerialization:
+    def test_json_round_trip_is_bit_identical(self, facet_system):
+        from repro.power.montecarlo import MonteCarloResult, monte_carlo_power
+
+        est = PowerEstimator(facet_system.netlist)
+        res = monte_carlo_power(
+            facet_system, est, seed=9, batch_patterns=64, max_batches=4
+        )
+        back = MonteCarloResult.from_json(res.to_json())
+        # floats survive JSON exactly -- a journal replay reproduces the
+        # original result bit for bit
+        assert back == res
+        assert back.power_uw == res.power_uw
+        assert back.history == res.history
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_power_refuses_to_serialize(self, bad):
+        from repro.core.errors import IntegrityError
+        from repro.power.montecarlo import MonteCarloResult
+
+        res = MonteCarloResult(power_uw=bad, batches=1, patterns=8)
+        with pytest.raises(IntegrityError, match="non-finite"):
+            res.to_json_dict()
+        with pytest.raises(IntegrityError):
+            res.to_json()
+
+    def test_non_finite_history_refuses_to_serialize(self):
+        from repro.core.errors import IntegrityError
+        from repro.power.montecarlo import MonteCarloResult
+
+        res = MonteCarloResult(
+            power_uw=1.0, batches=2, patterns=8, history=[1.0, float("nan")]
+        )
+        with pytest.raises(IntegrityError, match="non-finite"):
+            res.to_json()

@@ -253,6 +253,37 @@ class TestCampaignJournal:
         with pytest.raises(CheckpointMismatch, match="corrupt"):
             CampaignJournal(path, "a" * 20, "faultsim", resume=True)
 
+    def test_bit_flip_inside_a_record_fails_its_crc(self, tmp_path):
+        """A flipped digit still parses as JSON; only the CRC notices."""
+        path = tmp_path / "faultsim-xyz.jsonl"
+        j = CampaignJournal(path, "a" * 20, "faultsim")
+        j.record("fault0", ["detected", 41])
+        j.record("fault1", ["undetected", -1])
+        lines = path.read_text().splitlines()
+        assert '"value": ["detected", 41]' in lines[1]
+        lines[1] = lines[1].replace('["detected", 41]', '["detected", 43]')
+        path.write_text("\n".join(lines) + "\n")
+        json.loads(lines[1])  # the tampered line is still valid JSON
+        with pytest.raises(CheckpointMismatch, match="CRC"):
+            CampaignJournal(path, "a" * 20, "faultsim", resume=True)
+
+    def test_torn_tail_without_crc_is_still_forgiven(self, tmp_path):
+        """A SIGKILL can tear the line before the CRC field is written."""
+        path = tmp_path / "faultsim-xyz.jsonl"
+        j = CampaignJournal(path, "a" * 20, "faultsim")
+        j.record("done", [1])
+        with open(path, "a") as f:
+            f.write('{"key": "torn", "value": [2], "crc": "dead')  # no newline
+        j2 = CampaignJournal(path, "a" * 20, "faultsim", resume=True)
+        assert j2.done == {"done": [1]}
+
+    def test_non_finite_values_rejected_at_write_time(self, tmp_path):
+        j = CampaignJournal(tmp_path / "g.jsonl", "a" * 20, "grading")
+        with pytest.raises(ValueError):
+            j.record("bad", {"power_uw": float("nan")})
+        assert "bad" not in j.done  # the in-memory state stayed consistent
+        j.record("good", {"power_uw": 1.5})  # journal still usable
+
 
 # ------------------------------------------------- campaign resume (faults)
 @pytest.fixture(scope="module")
