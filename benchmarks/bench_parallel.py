@@ -17,6 +17,8 @@ from repro.core.grading import grade_sfr_faults
 from repro.core.pipeline import controller_fault_universe
 from repro.hls.system import NormalModeStimulus, hold_masks
 from repro.logic.faultsim import fault_simulate
+from repro.store.cache import CampaignStore
+from repro.store.fingerprint import netlist_fingerprint, stage_key
 from repro.tpg.tpgr import TPGR
 
 from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
@@ -24,21 +26,35 @@ from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
 JOB_COUNTS = (1, 2, 4)
 
 
-def _fault_sim_once(system, n_jobs):
+def _fault_sim_once(system, n_jobs, store=None):
     tpgr = TPGR(system.rtl.dfg.inputs, system.rtl.width, seed=0xACE1)
     data = {k: np.asarray(v) for k, v in tpgr.generate(PATTERNS).items()}
     stim = NormalModeStimulus(system, data, system.cycles_for(4))
     masks = hold_masks(system, stim)
     observe = [n for bus in system.output_buses.values() for n in bus]
     faults = [system.to_system_fault(s) for s in controller_fault_universe(system)]
+    store_key = None
+    if store is not None:
+        store_key = stage_key(
+            "faultsim",
+            netlist_fingerprint(system.netlist),
+            {"bench": "parallel", "patterns": PATTERNS},
+        )
     t0 = time.perf_counter()
     result = fault_simulate(
-        system.netlist, faults, stim, observe=observe, valid_masks=masks, n_jobs=n_jobs
+        system.netlist,
+        faults,
+        stim,
+        observe=observe,
+        valid_masks=masks,
+        n_jobs=n_jobs,
+        store=store,
+        store_key=store_key,
     )
     return time.perf_counter() - t0, result
 
 
-def test_parallel_scaling(systems, pipelines, save_result):
+def test_parallel_scaling(systems, pipelines, save_result, save_json, tmp_path):
     system = systems["diffeq"]
     lines = [
         "parallel scaling (diffeq)",
@@ -47,6 +63,8 @@ def test_parallel_scaling(systems, pipelines, save_result):
         f"{'stage':<16}{'n_jobs':>8}{'wall s':>10}{'speedup':>10}",
     ]
 
+    metrics = {"bench": "parallel", "design": "diffeq", "host_cores": os.cpu_count(),
+               "patterns": PATTERNS, "stages": []}
     base_time, base_result = None, None
     for n_jobs in JOB_COUNTS:
         elapsed, result = _fault_sim_once(system, n_jobs)
@@ -56,6 +74,14 @@ def test_parallel_scaling(systems, pipelines, save_result):
         assert result.detect_cycle == base_result.detect_cycle
         lines.append(
             f"{'fault_sim':<16}{n_jobs:>8}{elapsed:>10.2f}{base_time / elapsed:>10.2f}"
+        )
+        metrics["stages"].append(
+            {
+                "stage": "fault_sim",
+                "n_jobs": n_jobs,
+                "wall_s": elapsed,
+                "faults_per_s": len(result.verdicts) / elapsed,
+            }
         )
 
     base_time, base_grading = None, None
@@ -78,6 +104,36 @@ def test_parallel_scaling(systems, pipelines, save_result):
         lines.append(
             f"{'grading':<16}{n_jobs:>8}{elapsed:>10.2f}{base_time / elapsed:>10.2f}"
         )
+        metrics["stages"].append(
+            {
+                "stage": "grading",
+                "n_jobs": n_jobs,
+                "wall_s": elapsed,
+                "faults_per_s": len(pipelines["diffeq"].sfr_records) / elapsed,
+            }
+        )
+
+    # Store replay: publish once cold, then measure the warm hit path and
+    # confirm it stays bit-identical to the simulated baseline.
+    store_root = tmp_path / "store"
+    cold_s, cold_result = _fault_sim_once(system, 1, store=CampaignStore(store_root))
+    warm_store = CampaignStore(store_root)
+    warm_s, warm_result = _fault_sim_once(system, 1, store=warm_store)
+    assert warm_store.hit_ratio() == 1.0
+    assert warm_result.verdicts == cold_result.verdicts == base_result.verdicts
+    metrics["store"] = {
+        "cold_wall_s": cold_s,
+        "warm_wall_s": warm_s,
+        "warm_hit_ratio": warm_store.hit_ratio(),
+        "warm_speedup": cold_s / warm_s if warm_s else None,
+        "faults": len(cold_result.verdicts),
+    }
+    lines += [
+        "",
+        f"store replay: cold {cold_s:.2f}s -> warm {warm_s:.3f}s "
+        f"(hit ratio {warm_store.hit_ratio():.0%}, bit-identical)",
+    ]
 
     lines += ["", "all rows bit-identical to the n_jobs=1 baseline"]
     save_result("parallel", "\n".join(lines))
+    save_json("parallel", metrics)

@@ -6,17 +6,22 @@ the logic synthesis; the claim under test is that a consistent 10-30%
 of controller faults are system-functionally redundant.
 """
 
+import time
+
 from repro.core.pipeline import PipelineConfig, run_pipeline
 from repro.core.report import render_table2
 from repro.designs.catalog import PAPER_DESIGNS
+from repro.store.cache import CampaignStore
 
 from _config import PATTERNS
 
 
-def test_table2(benchmark, systems, save_result):
-    def run():
+def test_table2(benchmark, systems, save_result, save_json, tmp_path):
+    def run(store=None):
         cfg = PipelineConfig(n_patterns=PATTERNS)
-        return [run_pipeline(systems[name], cfg) for name in PAPER_DESIGNS]
+        return [
+            run_pipeline(systems[name], cfg, store=store) for name in PAPER_DESIGNS
+        ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [render_table2(results), ""]
@@ -24,6 +29,34 @@ def test_table2(benchmark, systems, save_result):
     for res in results:
         lines.append(f"  {res.design}: {res.counts()}")
     save_result("table2", "\n".join(lines))
+
+    # Store replay over all three designs: cold pass publishes, warm pass
+    # must be all hits, much faster, and render the identical table.
+    store_root = tmp_path / "store"
+    t0 = time.perf_counter()
+    cold_results = run(store=CampaignStore(store_root))
+    cold_s = time.perf_counter() - t0
+    warm_store = CampaignStore(store_root)
+    t0 = time.perf_counter()
+    warm_results = run(store=warm_store)
+    warm_s = time.perf_counter() - t0
+    assert warm_store.hit_ratio() == 1.0
+    assert render_table2(warm_results) == render_table2(results)
+    total_faults = sum(r.total_faults for r in results)
+    save_json(
+        "table2",
+        {
+            "bench": "table2",
+            "designs": list(PAPER_DESIGNS),
+            "patterns": PATTERNS,
+            "total_faults": total_faults,
+            "cold_wall_s": cold_s,
+            "warm_wall_s": warm_s,
+            "cold_faults_per_s": total_faults / cold_s,
+            "warm_hit_ratio": warm_store.hit_ratio(),
+            "warm_speedup": cold_s / warm_s if warm_s else None,
+        },
+    )
 
     for res in results:
         pct = res.table2_row()["pct_sfr"]

@@ -9,14 +9,14 @@ that preserves every qualitative conclusion.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.core.grading import grade_sfr_faults
 from repro.core.pipeline import PipelineConfig, run_pipeline
-from repro.designs.catalog import PAPER_DESIGNS, build_rtl
-from repro.hls.system import build_system
+from repro.designs.catalog import PAPER_DESIGNS, cached_system
 
 from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
 
@@ -35,8 +35,27 @@ def save_result():
 
 
 @pytest.fixture(scope="session")
+def save_json():
+    """Machine-readable benchmark metrics: ``results/BENCH_<name>.json``.
+
+    CI and trend tooling parse these (wall seconds, faults/sec, cache hit
+    ratios) instead of scraping the human-oriented ``.txt`` renderings.
+    """
+    RESULTS.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict) -> None:
+        path = RESULTS / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+        )
+        print(f"\nwrote {path}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
 def systems():
-    return {name: build_system(build_rtl(name)) for name in PAPER_DESIGNS}
+    return {name: cached_system(name) for name in PAPER_DESIGNS}
 
 
 @pytest.fixture(scope="session")

@@ -23,12 +23,15 @@ Package layout:
 * :mod:`repro.tpg` -- LFSR-based pseudorandom pattern generation;
 * :mod:`repro.core` -- the paper's contribution: control-line effects,
   SFR/SFI classification, the Section-5 pipeline, power grading, reports;
+* :mod:`repro.store` -- content-addressed campaign store: persistent
+  stage cache with bit-identical warm replays, query and serve layers;
 * :mod:`repro.designs` -- the Diffeq / Facet / Poly benchmark designs.
 """
 
 from .core.grading import GradingResult, grade_sfr_faults
 from .core.pipeline import PipelineConfig, PipelineResult, run_pipeline
 from .designs.catalog import build_rtl, design_names
+from .store.cache import CampaignStore
 from .hls.system import NormalModeStimulus, System, build_system
 from .logic.faults import FaultSite, collapse_faults, enumerate_faults
 from .logic.faultsim import Verdict, fault_simulate
@@ -41,6 +44,7 @@ from .power.montecarlo import monte_carlo_power
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignStore",
     "CycleSimulator",
     "FaultSite",
     "GradingResult",

@@ -12,6 +12,13 @@ Subcommands::
     repro-faults dump-vcd diffeq run.vcd    # waveform of one computation
     repro-faults export diffeq out.v        # write the system netlist
     repro-faults stats diffeq               # netlist statistics
+
+Store-backed workflows (``--store-dir`` -- see docs/store.md)::
+
+    repro-faults --store-dir .cache grade diffeq    # publishes + replays
+    repro-faults --store-dir .cache query --verdict SFR
+    repro-faults --store-dir .cache serve --port 8357
+    repro-faults --store-dir .cache store stats|gc|verify
 """
 
 from __future__ import annotations
@@ -25,17 +32,23 @@ from .core.integrity import DEFAULT_AUDIT_RATE
 from .core.pipeline import PipelineConfig, run_pipeline
 from .core.report import (
     build_json_report,
+    build_result_report,
+    canonical_report_json,
     render_campaign_summary,
     render_figure7,
     render_integrity_violations,
+    render_store_summary,
     render_table1,
     render_table2,
 )
-from .designs.catalog import build_rtl, design_names
+from .designs.catalog import build_rtl, cached_system, design_names
 from .hls.system import build_system
 from .netlist.bench import write_bench
 from .netlist.stats import analyze
 from .netlist.verilog import write_verilog
+from .store.cache import CampaignStore, StageProvenance, clean_campaign
+from .store.fingerprint import netlist_fingerprint, stage_key
+from .store.query import QUERY_VERDICTS
 
 
 def _positive_int(text: str) -> int:
@@ -124,18 +137,104 @@ def _print_campaign(campaign, title: str) -> None:
         print(render_integrity_violations(campaign, title=f"{title} integrity"))
 
 
-def _write_report_json(args, campaigns: dict) -> None:
+def _write_report_json(args, campaigns: dict, store: CampaignStore | None = None) -> None:
     """Write the machine-readable campaign/integrity report if requested."""
     if not getattr(args, "report_json", None):
         return
     with open(args.report_json, "w", encoding="utf-8") as f:
-        json.dump(build_json_report(campaigns), f, indent=2, allow_nan=False)
+        json.dump(build_json_report(campaigns, store=store), f, indent=2, allow_nan=False)
     print(f"wrote {args.report_json}")
 
 
+def _write_result_json(args, report: dict) -> None:
+    """Write the deterministic result report (canonical JSON) if requested."""
+    if not getattr(args, "result_json", None):
+        return
+    with open(args.result_json, "w", encoding="utf-8") as f:
+        f.write(canonical_report_json(report))
+    print(f"wrote {args.result_json}")
+
+
+def _store(args) -> CampaignStore | None:
+    """The persistent campaign store of this invocation, if enabled."""
+    if not getattr(args, "store_dir", None):
+        return None
+    return CampaignStore(args.store_dir, refresh=getattr(args, "store_refresh", False))
+
+
+def _print_store(store: CampaignStore | None) -> None:
+    if store is not None and (store.provenance or store.violations):
+        print(render_store_summary(store))
+
+
+def _result_report(
+    store: CampaignStore | None,
+    system,
+    config: PipelineConfig,
+    result,
+    grading=None,
+    command: str = "classify",
+) -> dict:
+    """Build (or replay) the deterministic result report of one run.
+
+    With a store, the report is its own cached stage: a warm run replays
+    the published report dict verbatim; a cold clean run publishes it so
+    ``query``/``serve`` can answer without simulating.  Campaigns that
+    recorded integrity violations are never published.
+    """
+    from .power.montecarlo import (
+        MC_DEFAULT_BATCH_PATTERNS,
+        MC_DEFAULT_ITERATIONS_WINDOW,
+        MC_DEFAULT_MAX_BATCHES,
+        MC_DEFAULT_SEED,
+        mc_campaign_params,
+    )
+
+    params: dict = {
+        "command": command,
+        "design": result.design,
+        "pipeline": config.fingerprint_params(),
+    }
+    if grading is not None:
+        params["threshold"] = grading.threshold
+        params["mc"] = mc_campaign_params(
+            MC_DEFAULT_SEED,
+            MC_DEFAULT_BATCH_PATTERNS,
+            MC_DEFAULT_MAX_BATCHES,
+            MC_DEFAULT_ITERATIONS_WINDOW,
+        )
+    if store is None:
+        return build_result_report(
+            result, grading, system=system, params=params, command=command
+        )
+    key = stage_key("report", netlist_fingerprint(system.netlist), params)
+    cached = store.lookup("report", key)
+    if cached is not None:
+        row = store.artifacts.row(key)
+        store.record(
+            StageProvenance(
+                stage="report", key=key, hit=True, saved_s=row.wall_s if row else 0.0
+            )
+        )
+        return cached
+    report = build_result_report(
+        result, grading, system=system, params=params, command=command
+    )
+    published = False
+    if clean_campaign(result.campaign) and (
+        grading is None or clean_campaign(grading.campaign)
+    ):
+        published = store.publish(
+            "report", key, report, design=result.design, meta={"command": command}
+        )
+    store.record(StageProvenance(stage="report", key=key, hit=False, published=published))
+    return report
+
+
 def _build(args):
-    return build_system(
-        build_rtl(args.design, width=args.width),
+    return cached_system(
+        args.design,
+        width=args.width,
         encoding_kind=args.encoding,
         output_style=args.output_style,
     )
@@ -157,9 +256,14 @@ def _config(args) -> PipelineConfig:
 
 def _cmd_classify(args) -> int:
     system = _build(args)
-    result = run_pipeline(system, _config(args))
+    store = _store(args)
+    config = _config(args)
+    result = run_pipeline(system, config, store=store)
     _print_campaign(result.campaign, "fault-sim campaign")
-    _write_report_json(args, {"faultsim": result.campaign})
+    report = _result_report(store, system, config, result, command="classify")
+    _print_store(store)
+    _write_result_json(args, report)
+    _write_report_json(args, {"faultsim": result.campaign}, store=store)
     print(system.rtl.summary())
     print("fault buckets:", result.counts())
     row = result.table2_row()
@@ -175,7 +279,9 @@ def _cmd_classify(args) -> int:
 
 def _cmd_grade(args) -> int:
     system = _build(args)
-    result = run_pipeline(system, _config(args))
+    store = _store(args)
+    config = _config(args)
+    result = run_pipeline(system, config, store=store)
     _print_campaign(result.campaign, "fault-sim campaign")
     chaos_engine = None
     if args.chaos:
@@ -194,10 +300,14 @@ def _cmd_grade(args) -> int:
         audit_rate=args.audit_rate,
         strict=args.strict,
         chaos=chaos_engine,
+        store=store,
     )
     _print_campaign(grading.campaign, "grading campaign")
+    report = _result_report(store, system, config, result, grading, command="grade")
+    _print_store(store)
+    _write_result_json(args, report)
     _write_report_json(
-        args, {"faultsim": result.campaign, "grading": grading.campaign}
+        args, {"faultsim": result.campaign, "grading": grading.campaign}, store=store
     )
     print(render_table1(grading, pick_representative(grading)))
     print()
@@ -213,11 +323,96 @@ def _cmd_grade(args) -> int:
 def _cmd_table2(args) -> int:
     from .designs.catalog import PAPER_DESIGNS
 
+    store = _store(args)
     results = []
     for name in PAPER_DESIGNS:
-        system = build_system(build_rtl(name, width=args.width))
-        results.append(run_pipeline(system, _config(args)))
+        system = cached_system(name, width=args.width)
+        results.append(run_pipeline(system, _config(args), store=store))
+    _print_store(store)
     print(render_table2(results))
+    return 0
+
+
+def _compute_campaign(args, store: CampaignStore, design: str, threshold: float) -> dict:
+    """Full cache-aware grade flow for one design (the serve miss path)."""
+    system = cached_system(
+        design,
+        width=args.width,
+        encoding_kind=args.encoding,
+        output_style=args.output_style,
+    )
+    config = _config(args)
+    result = run_pipeline(system, config, store=store)
+    grading = grade_sfr_faults(
+        system,
+        result,
+        threshold=threshold,
+        n_jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        audit_rate=args.audit_rate,
+        strict=args.strict,
+        store=store,
+    )
+    return _result_report(store, system, config, result, grading, command="grade")
+
+
+def _cmd_store(args) -> int:
+    store = _store(args)
+    if store is None:
+        print("error: the store command needs --store-dir", file=sys.stderr)
+        return 2
+    artifacts = store.artifacts
+    if args.store_op == "stats":
+        print(json.dumps(artifacts.stats(), indent=2))
+    elif args.store_op == "gc":
+        print(json.dumps(artifacts.gc(), indent=2))
+    else:  # verify
+        defects = artifacts.verify()
+        print(json.dumps({"ok": not defects, "defects": defects}, indent=2))
+        if defects:
+            return 1
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .store.query import query_campaigns, query_json, render_query
+
+    store = _store(args)
+    if store is None:
+        print("error: query needs --store-dir", file=sys.stderr)
+        return 2
+    matches = query_campaigns(
+        store, design=args.design, threshold=args.threshold, verdict=args.verdict
+    )
+    if args.json:
+        print(json.dumps(query_json(matches), indent=2, allow_nan=False))
+    else:
+        print(render_query(matches, verdict=args.verdict))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .store.server import make_server, serve_forever
+
+    store = _store(args)
+    if store is None:
+        print("error: serve needs --store-dir", file=sys.stderr)
+        return 2
+    compute = None
+    if not args.no_compute:
+
+        def compute(design: str, threshold: float) -> dict:
+            return _compute_campaign(args, store, design, threshold)
+
+    server = make_server(
+        args.host, args.port, store, compute=compute, designs=tuple(design_names())
+    )
+    host, port = server.server_address[:2]
+    print(f"serving store {args.store_dir} on http://{host}:{port} (Ctrl-C stops)")
+    serve_forever(server)
     return 0
 
 
@@ -412,6 +607,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write a machine-readable campaign/integrity report to FILE",
     )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store: completed stages are published "
+        "to DIR and replayed bit-identically by later runs, query and serve "
+        "(see docs/store.md)",
+    )
+    parser.add_argument(
+        "--store-refresh",
+        action="store_true",
+        help="treat every store lookup as a miss: recompute and republish "
+        "(cache busting without deleting the store)",
+    )
+    parser.add_argument(
+        "--result-json",
+        default=None,
+        metavar="FILE",
+        help="write the deterministic result report (canonical JSON, "
+        "byte-identical across cold, resumed and store-replayed runs) to FILE",
+    )
     parser.add_argument("--encoding", default="binary", choices=["binary", "gray", "onehot"])
     parser.add_argument(
         "--output-style", default="pla", choices=["pla", "decoded", "minimized"]
@@ -429,6 +645,28 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("table2", help="Table 2 for all designs")
     p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("store", help="inspect or maintain the --store-dir store")
+    p.add_argument("store_op", choices=["stats", "gc", "verify"])
+    p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser("query", help="filter cached campaigns without simulating")
+    p.add_argument("--design", choices=design_names(), default=None)
+    p.add_argument("--threshold", type=_fraction_arg, default=None)
+    p.add_argument("--verdict", choices=list(QUERY_VERDICTS), default=None)
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("serve", help="HTTP endpoint over cached campaign results")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_nonnegative_int, default=8357)
+    p.add_argument(
+        "--no-compute",
+        action="store_true",
+        help="serve cached results only; a miss returns 404 instead of "
+        "running the pipeline",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("export", help="write the system netlist (.v or .bench)")
     p.add_argument("design", choices=design_names())

@@ -188,6 +188,22 @@ class CampaignJournal:
             f.flush()
             os.fsync(f.fileno())
 
+    # ----------------------------------------------------------- retirement
+    def retire(self) -> None:
+        """Set the journal aside once the campaign's results are durable
+        elsewhere (published into the artifact store -- see
+        :mod:`repro.store`).
+
+        The journal exists for crash recovery of an *in-flight* campaign;
+        once the completed results live in the content-addressed store, a
+        future run resumes from the store instead, and leaving the journal
+        behind would only accumulate stale files in the checkpoint
+        directory.  The file is renamed (suffix ``.published``), not
+        deleted, so post-mortems can still inspect it.
+        """
+        if self.path.exists():
+            self.path.replace(self.path.with_name(self.path.name + ".published"))
+
 
 def open_journal(
     checkpoint_dir: str | os.PathLike | None,

@@ -35,6 +35,13 @@ This module makes campaign results self-verifying:
   aborts the campaign with
   :class:`~repro.core.errors.IntegrityError`.
 
+* **Storage integrity.**  Results that persist beyond a run are guarded
+  on the way back in: checkpoint journals carry per-record CRCs (see
+  :mod:`repro.core.checkpoint`) and artifact-store blobs are content
+  addressed, so a flipped bit on disk surfaces as a
+  :data:`STORE_CORRUPT_CHECK` violation and the stage recomputes instead
+  of serving the corrupted value (see :mod:`repro.store`).
+
 The guard layer never changes the results of a clean run: audits only
 *compare*, and every path they compare against is bit-identical by
 construction (see docs/performance.md).  ``tests/test_integrity.py``
@@ -57,6 +64,11 @@ DEFAULT_AUDIT_RATE = 0.02
 #: scalar event-driven engine (it is 10-100x slower per pattern, so the
 #: spot-check is capped rather than rate-scaled)
 DEFAULT_EVENTSIM_CHECKS = 2
+
+#: stable check id flagged when a persisted artifact-store blob fails its
+#: content hash (the stage falls back to recomputation -- see
+#: :mod:`repro.store.cache`)
+STORE_CORRUPT_CHECK = "store-blob-corrupt"
 
 
 @dataclass

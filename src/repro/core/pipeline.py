@@ -27,6 +27,8 @@ import numpy as np
 from ..hls.system import NormalModeStimulus, System, hold_masks
 from ..logic.faults import FaultSite, collapse_faults, enumerate_faults
 from ..logic.faultsim import Verdict, fault_simulate
+from ..store.cache import CampaignStore
+from ..store.fingerprint import netlist_fingerprint, stage_key
 from ..tpg.tpgr import TPGR
 from .checkpoint import campaign_fingerprint, fault_key, open_journal
 from .classify import Classifier, FaultClassification
@@ -158,12 +160,22 @@ def controller_fault_universe(system: System) -> list[FaultSite]:
     return reps
 
 
-def run_pipeline(system: System, config: PipelineConfig | None = None) -> PipelineResult:
+def run_pipeline(
+    system: System,
+    config: PipelineConfig | None = None,
+    store: CampaignStore | None = None,
+) -> PipelineResult:
     """Execute the full Section-5 flow on ``system``.
 
     With ``config.checkpoint_dir`` set, per-fault verdicts are journaled
     as they complete; a killed campaign rerun with ``config.resume`` skips
     the journaled faults and produces bit-identical results.
+
+    With ``store`` set (see :mod:`repro.store`), the fault-simulation
+    stage consults the persistent content-addressed store first: a cached
+    campaign keyed by the netlist content, stimulus plan, config knobs
+    and code schema replays bit-identically without simulating, and a
+    freshly computed clean campaign is published back for future runs.
     """
     config = config or PipelineConfig()
     validate_config(config)
@@ -197,6 +209,24 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         from ..testing.chaos import ChaosEngine
 
         chaos_engine = ChaosEngine.from_spec(config.chaos)
+    faultsim_store_key = None
+    if store is not None:
+        faultsim_store_key = stage_key(
+            "faultsim",
+            netlist_fingerprint(system.netlist),
+            {
+                "design": system.rtl.name,
+                "faults": [fault_key(s) for s in system_sites],
+                "observe": observe,
+                "stimulus": {
+                    "kind": "tpgr-normal-mode",
+                    "n_patterns": config.n_patterns,
+                    "n_cycles": n_cycles,
+                    "tpgr_seed": config.tpgr_seed,
+                },
+                "pipeline": config.fingerprint_params(),
+            },
+        )
     sim_result = fault_simulate(
         system.netlist,
         system_sites,
@@ -210,6 +240,8 @@ def run_pipeline(system: System, config: PipelineConfig | None = None) -> Pipeli
         audit_rate=config.audit_rate,
         strict=config.strict,
         chaos=chaos_engine,
+        store=store,
+        store_key=faultsim_store_key,
     )
     if chaos_engine is not None and chaos_engine.spec.corrupt and journal is not None:
         chaos_engine.corrupt_journal(journal.path)

@@ -13,11 +13,16 @@ Produces plain-text renderings (and CSV-able row dicts) of:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
 
+from ..store.cache import CampaignStore
+from .checkpoint import fault_key
 from .grading import GradedFault, GradingResult, Table3Row
 from .parallel import RunReport
 from .pipeline import PipelineResult
+
+#: bumped whenever the deterministic result-report shape changes
+RESULT_SCHEMA_VERSION = 1
 
 
 def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
@@ -178,9 +183,17 @@ def render_integrity_violations(report: RunReport, title: str = "integrity") -> 
     return "\n".join(lines)
 
 
-def build_json_report(campaigns: dict[str, RunReport | None]) -> dict:
+def build_json_report(
+    campaigns: dict[str, RunReport | None], store: CampaignStore | None = None
+) -> dict:
     """JSON-ready machine report of every campaign stage's resilience
-    and integrity counters (the ``--report-json`` artifact CI archives)."""
+    and integrity counters (the ``--report-json`` artifact CI archives).
+
+    With ``store`` set, a ``store`` section records per-stage cache
+    provenance (hit/miss, wall seconds spent and saved), the overall hit
+    ratio, and any corruption violations the store degraded to misses --
+    CI's warm-cache job asserts on these.
+    """
     out: dict = {"campaigns": {}, "violations": []}
     for stage, report in campaigns.items():
         if report is None:
@@ -191,7 +204,105 @@ def build_json_report(campaigns: dict[str, RunReport | None]) -> dict:
         )
     out["total_violations"] = len(out["violations"])
     out["clean"] = not out["violations"]
+    if store is not None:
+        out["store"] = {
+            "stages": [p.to_json_dict() for p in store.provenance],
+            "hit_ratio": store.hit_ratio(),
+            "saved_s": store.saved_s(),
+            "violations": [v.to_json_dict() for v in store.violations],
+        }
     return out
+
+
+# ------------------------------------------------- deterministic result report
+def build_result_report(
+    result: PipelineResult,
+    grading: GradingResult | None = None,
+    system=None,
+    params: dict | None = None,
+    command: str = "classify",
+) -> dict:
+    """Deterministic result artifact of one ``classify``/``grade`` run.
+
+    Unlike :func:`build_json_report` (which records *how the run went*:
+    wall times, retries, resumed counts -- all legitimately varying
+    between reruns), this captures only *what the run concluded*: fault
+    categories, Table-2 counts and Monte-Carlo grades.  Two runs over
+    the same inputs -- cold, resumed, or replayed from the store --
+    serialize byte-identically via :func:`canonical_report_json`, which
+    is what the warm-cache CI job and the bit-identity tests diff.
+    """
+    ctrl_netlist = system.controller.netlist if system is not None else None
+
+    def describe(record) -> str | None:
+        if ctrl_netlist is None:
+            return None
+        return record.site.describe(ctrl_netlist)
+
+    out: dict = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "command": command,
+        "design": result.design,
+        "params": params or {},
+        "counts": result.counts(),
+        "table2": result.table2_row(),
+        "faults": [
+            {
+                "fault": fault_key(r.system_site),
+                "site": describe(r),
+                "category": r.category,
+                "quarantined": r.quarantined,
+            }
+            for r in result.records
+        ],
+    }
+    if grading is not None:
+        out["grading"] = {
+            "fault_free_uw": grading.fault_free_uw,
+            "threshold": grading.threshold,
+            "summary": grading.summary(),
+            "figure7": figure7_series(grading),
+            "graded": [
+                {
+                    "fault": fault_key(g.record.system_site),
+                    "site": describe(g.record),
+                    "group": g.group,
+                    "power_uw": g.power_uw,
+                    "pct": g.pct_change,
+                    "detected": abs(g.pct_change) > 100.0 * grading.threshold,
+                }
+                for g in grading.graded
+            ],
+        }
+    return out
+
+
+def canonical_report_json(report: dict) -> str:
+    """Canonical (sorted-key, no-whitespace, NaN-free) JSON of a report.
+
+    The same serialization keys the store's content addressing, so a
+    replayed campaign producing an identical report dedups to the very
+    blob the cold run published.
+    """
+    return json.dumps(report, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def render_store_summary(store: CampaignStore) -> str:
+    """One-line cache summary of a store-backed run.
+
+    Reads e.g. ``store: 3/3 stage hits, 41.2s saved`` on a fully warm
+    run, with a trailing corruption count when blobs were quarantined.
+    """
+    hits = sum(1 for p in store.provenance if p.hit)
+    parts = [f"{hits}/{len(store.provenance)} stage hits"]
+    if store.saved_s() > 0:
+        parts.append(f"{store.saved_s():.1f}s saved")
+    published = sum(1 for p in store.provenance if p.published)
+    if published:
+        parts.append(f"{published} stage{'s' if published != 1 else ''} published")
+    if store.violations:
+        parts.append(f"{len(store.violations)} corrupt blob(s) recomputed")
+    return "store: " + ", ".join(parts)
 
 
 # ----------------------------------------------------------------- Figure 7

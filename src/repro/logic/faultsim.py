@@ -40,6 +40,7 @@ from ..core.integrity import (
 )
 from ..core.parallel import ParallelExecutor, RunReport
 from ..netlist.netlist import Netlist
+from ..store.cache import CampaignStore, StageProvenance, StageTimer, clean_campaign
 from . import values as V
 from .faults import FaultSite
 from .simulator import CycleSimulator, compile_netlist
@@ -249,6 +250,8 @@ def fault_simulate(
     strict: bool = False,
     chaos=None,
     eventsim_checks: int = DEFAULT_EVENTSIM_CHECKS,
+    store: CampaignStore | None = None,
+    store_key: str | None = None,
 ) -> FaultSimResult:
     """Fault simulation of ``faults`` under ``stimulus``.
 
@@ -294,10 +297,47 @@ def fault_simulate(
             and CI use only).
         eventsim_checks: cap on audited faults also replayed through the
             event-driven reference engine (it is far slower per pattern).
+        store: optional persistent campaign store; a complete cached
+            stage result is replayed bit-identically (skipping simulation
+            *and* audit -- the result was audited before publication),
+            and a freshly computed clean campaign is published back.
+        store_key: this campaign's canonical stage key (computed by the
+            caller from the netlist/stimulus/config fingerprints -- see
+            :mod:`repro.store.fingerprint`); required for ``store`` use.
     """
     if observe is None:
         observe = list(netlist.outputs)
     keys = {f: fault_key(f) for f in faults}
+
+    # Persistent-store fast path: a complete cached verdict map replays
+    # bit-identically without any simulation.  Partial/corrupt/foreign
+    # payloads degrade to a miss (corruption is flagged by the store).
+    if store is not None and store_key is not None:
+        with StageTimer() as timer:
+            cached = store.lookup("faultsim", store_key)
+        if cached is not None and set(cached.get("verdicts", ())) == set(keys.values()):
+            row = store.artifacts.row(store_key)
+            store.record(
+                StageProvenance(
+                    stage="faultsim",
+                    key=store_key,
+                    hit=True,
+                    wall_s=timer.wall_s,
+                    saved_s=row.wall_s if row is not None else 0.0,
+                )
+            )
+            result = FaultSimResult(
+                verdicts={}, campaign=RunReport(n_items=len(faults))
+            )
+            for fault in faults:
+                raw_verdict, cycle = cached["verdicts"][keys[fault]]
+                verdict = Verdict(raw_verdict)
+                result.verdicts[fault] = verdict
+                if verdict is Verdict.DETECTED:
+                    result.detect_cycle[fault] = int(cycle)
+            return result
+
+    stage_timer = StageTimer().__enter__()
     done: dict[FaultSite, tuple[Verdict, int]] = {}
     todo = list(faults)
     if checkpoint is not None:
@@ -396,6 +436,38 @@ def fault_simulate(
                     )
                 )
     guard.attach(report, audited=len(audited))
+    stage_timer.__exit__()
+    if store is not None and store_key is not None:
+        # Publish only clean campaigns: quarantined/audit-corrected results
+        # must never be served stale from a warm cache.  A fully journal-
+        # resumed campaign publishes too (the checkpoint layer's results
+        # graduate into the durable store on completion).
+        published = False
+        if clean_campaign(report):
+            published = store.publish(
+                "faultsim",
+                store_key,
+                {
+                    "verdicts": {
+                        keys[f]: [outcomes_by_fault[f][0].value, outcomes_by_fault[f][1]]
+                        for f in faults
+                    }
+                },
+                design=netlist.name,
+                meta={"faults": len(faults), "patterns": stimulus.n_patterns},
+                wall_s=stage_timer.wall_s,
+            )
+            if published and checkpoint is not None and chaos is None:
+                checkpoint.retire()
+        store.record(
+            StageProvenance(
+                stage="faultsim",
+                key=store_key,
+                hit=False,
+                wall_s=stage_timer.wall_s,
+                published=published,
+            )
+        )
     result = FaultSimResult(verdicts={}, campaign=report)
     for fault in faults:
         verdict, cycle = outcomes_by_fault[fault]

@@ -34,6 +34,31 @@ from .estimator import PowerEstimator, PowerResult
 
 DATAPATH_TAG = "dp"
 
+#: shared Monte-Carlo campaign defaults -- one definition keeps
+#: ``monte_carlo_power``, ``grade_sfr_faults`` and every cache/checkpoint
+#: fingerprint derived from them in agreement.
+MC_DEFAULT_SEED = 2000
+MC_DEFAULT_BATCH_PATTERNS = 192
+MC_DEFAULT_MAX_BATCHES = 12
+MC_DEFAULT_ITERATIONS_WINDOW = 4
+
+
+def mc_campaign_params(
+    seed: int, batch_patterns: int, max_batches: int, iterations_window: int
+) -> dict:
+    """The result-relevant knobs of one Monte-Carlo grading campaign.
+
+    Two campaigns with equal params (and equal design + fault universe)
+    produce bit-identical powers, so this dict keys both the
+    crash-recovery checkpoint fingerprint and the persistent store key.
+    """
+    return {
+        "seed": seed,
+        "batch_patterns": batch_patterns,
+        "max_batches": max_batches,
+        "iterations_window": iterations_window,
+    }
+
 
 def measure_power(
     system: System,
@@ -134,9 +159,9 @@ def random_data(system: System, rng: np.random.Generator, n_patterns: int) -> di
 
 def precompute_batches(
     system: System,
-    seed: int = 2000,
-    batch_patterns: int = 192,
-    max_batches: int = 12,
+    seed: int = MC_DEFAULT_SEED,
+    batch_patterns: int = MC_DEFAULT_BATCH_PATTERNS,
+    max_batches: int = MC_DEFAULT_MAX_BATCHES,
     iterations_window: int = 4,
     hold_cycles: int = 3,
 ) -> list[NormalModeStimulus]:
@@ -158,9 +183,9 @@ def monte_carlo_power(
     system: System,
     estimator: PowerEstimator,
     fault: FaultSite | None = None,
-    seed: int = 2000,
-    batch_patterns: int = 192,
-    max_batches: int = 12,
+    seed: int = MC_DEFAULT_SEED,
+    batch_patterns: int = MC_DEFAULT_BATCH_PATTERNS,
+    max_batches: int = MC_DEFAULT_MAX_BATCHES,
     min_batches: int = 3,
     rel_tol: float = 0.004,
     iterations_window: int = 4,

@@ -1,0 +1,350 @@
+"""Content-addressed, SQLite-indexed artifact store.
+
+Layout of a store root directory::
+
+    <root>/index.db            SQLite index: stage key -> blob address + meta
+    <root>/objects/ab/abcdef…  blobs, named by the sha-256 of their bytes
+    <root>/store.lock          advisory writer lock (fcntl.flock)
+
+Design points:
+
+* **Content addressing.**  A blob's filename *is* the sha-256 of its
+  bytes, so identical payloads dedup to one file and every read can be
+  integrity-checked by rehashing -- a flipped bit on disk is detected on
+  the next ``get`` and surfaces as :class:`ArtifactCorrupt` instead of a
+  silently wrong campaign result.
+* **Atomic writes.**  Blobs are written to a temp file in the objects
+  tree and ``os.replace``-d into place; the index row is inserted only
+  after the blob is durable.  A crash mid-publish leaves either nothing
+  or an unreferenced blob (cleaned by :meth:`ArtifactStore.gc`), never a
+  dangling index row.
+* **Concurrent readers, single writer.**  Reads never lock.  All writes
+  (publish, gc, corruption quarantine) serialize on an advisory
+  ``flock`` over ``store.lock``; a second writer either waits up to
+  ``lock_timeout`` seconds or fails fast with :class:`StoreLockError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from .fingerprint import canonical_json
+
+try:  # advisory file locking; POSIX-only, degraded no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
+
+#: default seconds a writer waits for the store lock before giving up
+DEFAULT_LOCK_TIMEOUT = 10.0
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    key        TEXT PRIMARY KEY,
+    kind       TEXT NOT NULL,
+    design     TEXT NOT NULL,
+    blob_sha   TEXT NOT NULL,
+    size_bytes INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    wall_s     REAL NOT NULL DEFAULT 0.0,
+    meta       TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_kind_design
+    ON artifacts (kind, design);
+"""
+
+
+class StoreError(RuntimeError):
+    """Base class for artifact-store failures."""
+
+
+class StoreLockError(StoreError):
+    """The single-writer lock could not be acquired in time."""
+
+
+class ArtifactCorrupt(StoreError):
+    """A blob's bytes no longer hash to their content address."""
+
+    def __init__(self, key: str, path: Path, expected: str, actual: str):
+        self.key = key
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"artifact {key} blob {path} fails its content hash "
+            f"(expected {expected[:12]}…, got {actual[:12]}…)"
+        )
+
+
+@dataclass
+class ArtifactRow:
+    """One index entry (without its payload)."""
+
+    key: str
+    kind: str
+    design: str
+    blob_sha: str
+    size_bytes: int
+    created_at: float
+    wall_s: float
+    meta: dict
+
+
+class ArtifactStore:
+    """Content-addressed artifact store rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike, lock_timeout: float = DEFAULT_LOCK_TIMEOUT):
+        self.root = Path(root)
+        self.lock_timeout = lock_timeout
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "objects").mkdir(exist_ok=True)
+        self._db_path = self.root / "index.db"
+        with self._connect() as con:
+            con.executescript(_SCHEMA_SQL)
+
+    # -------------------------------------------------------------- plumbing
+    def _connect(self) -> sqlite3.Connection:
+        con = sqlite3.connect(self._db_path, timeout=self.lock_timeout)
+        con.row_factory = sqlite3.Row
+        return con
+
+    def _blob_path(self, sha: str) -> Path:
+        return self.root / "objects" / sha[:2] / sha
+
+    def _write_blob(self, data: bytes) -> tuple[str, int]:
+        """Write ``data`` content-addressed and atomically; return (sha, size)."""
+        sha = hashlib.sha256(data).hexdigest()
+        final = self._blob_path(sha)
+        if final.exists():  # content-addressed dedup
+            return sha, len(data)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.parent / f".tmp-{os.getpid()}-{sha[:12]}"
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, final)
+        return sha, len(data)
+
+    # ------------------------------------------------------------ write lock
+    def writer(self, timeout: float | None = None) -> "_WriterLock":
+        """Context manager acquiring the store's single-writer lock."""
+        limit = self.lock_timeout if timeout is None else timeout
+        return _WriterLock(self.root / "store.lock", limit)
+
+    # --------------------------------------------------------------- publish
+    def put(
+        self,
+        kind: str,
+        key: str,
+        payload: Any,
+        design: str = "",
+        meta: dict | None = None,
+        wall_s: float = 0.0,
+        lock_timeout: float | None = None,
+    ) -> str:
+        """Store one stage payload under ``key``; returns the blob sha.
+
+        The payload is serialized canonically, so bit-identical results
+        always produce (and dedup to) the same blob.  Raises
+        :class:`StoreLockError` if another writer holds the lock past
+        the timeout.
+        """
+        data = canonical_json(payload).encode("utf-8")
+        with self.writer(lock_timeout):
+            sha, size = self._write_blob(data)
+            with self._connect() as con:
+                con.execute(
+                    "INSERT OR REPLACE INTO artifacts "
+                    "(key, kind, design, blob_sha, size_bytes, created_at, wall_s, meta) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        key,
+                        kind,
+                        design,
+                        sha,
+                        size,
+                        time.time(),
+                        wall_s,
+                        canonical_json(meta or {}),
+                    ),
+                )
+        return sha
+
+    # ---------------------------------------------------------------- lookup
+    def row(self, key: str) -> ArtifactRow | None:
+        with self._connect() as con:
+            r = con.execute("SELECT * FROM artifacts WHERE key = ?", (key,)).fetchone()
+        if r is None:
+            return None
+        return ArtifactRow(
+            key=r["key"],
+            kind=r["kind"],
+            design=r["design"],
+            blob_sha=r["blob_sha"],
+            size_bytes=r["size_bytes"],
+            created_at=r["created_at"],
+            wall_s=r["wall_s"],
+            meta=json.loads(r["meta"]),
+        )
+
+    def get_bytes(self, key: str) -> tuple[bytes, ArtifactRow] | None:
+        """Fetch and integrity-verify one payload's raw bytes.
+
+        Returns None on a clean miss.  A missing or corrupted blob
+        raises :class:`ArtifactCorrupt` after quarantining the entry
+        (best effort -- quarantine is skipped if another writer holds
+        the lock) so the next run recomputes instead of crashing again.
+        """
+        row = self.row(key)
+        if row is None:
+            return None
+        path = self._blob_path(row.blob_sha)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self._quarantine(key, path)
+            raise ArtifactCorrupt(key, path, row.blob_sha, "<missing>")
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != row.blob_sha:
+            self._quarantine(key, path)
+            raise ArtifactCorrupt(key, path, row.blob_sha, actual)
+        return data, row
+
+    def get(self, key: str) -> Any | None:
+        """Fetch and decode one payload (None on a clean miss)."""
+        found = self.get_bytes(key)
+        if found is None:
+            return None
+        data, _ = found
+        return json.loads(data)
+
+    def _quarantine(self, key: str, blob_path: Path) -> None:
+        """Drop a corrupted entry so future runs recompute it."""
+        try:
+            with self.writer(timeout=0.5):
+                with self._connect() as con:
+                    con.execute("DELETE FROM artifacts WHERE key = ?", (key,))
+                blob_path.unlink(missing_ok=True)
+        except (StoreLockError, OSError):  # pragma: no cover - contended path
+            logger.warning("could not quarantine corrupt artifact %s", key)
+
+    # ----------------------------------------------------------- maintenance
+    def rows(self, kind: str | None = None, design: str | None = None) -> Iterator[ArtifactRow]:
+        sql = "SELECT key FROM artifacts"
+        clauses, args = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            args.append(kind)
+        if design is not None:
+            clauses.append("design = ?")
+            args.append(design)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_at, key"
+        with self._connect() as con:
+            keys = [r["key"] for r in con.execute(sql, args)]
+        for key in keys:
+            row = self.row(key)
+            if row is not None:
+                yield row
+
+    def stats(self) -> dict:
+        """Index and blob-tree statistics (the ``repro store stats`` view)."""
+        with self._connect() as con:
+            by_kind = {
+                r["kind"]: {"artifacts": r["n"], "bytes": r["total"]}
+                for r in con.execute(
+                    "SELECT kind, COUNT(*) AS n, SUM(size_bytes) AS total "
+                    "FROM artifacts GROUP BY kind ORDER BY kind"
+                )
+            }
+            n_artifacts, indexed_bytes = con.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) FROM artifacts"
+            ).fetchone()
+            referenced = {
+                r["blob_sha"] for r in con.execute("SELECT blob_sha FROM artifacts")
+            }
+        blobs = [p for p in (self.root / "objects").glob("*/*") if p.is_file()]
+        return {
+            "root": str(self.root),
+            "artifacts": n_artifacts,
+            "indexed_bytes": int(indexed_bytes),
+            "by_kind": by_kind,
+            "blobs": len(blobs),
+            "blob_bytes": sum(p.stat().st_size for p in blobs),
+            "orphan_blobs": sum(1 for p in blobs if p.name not in referenced),
+        }
+
+    def gc(self) -> dict:
+        """Delete unreferenced blobs; referenced artifacts are never touched."""
+        removed = freed = 0
+        with self.writer():
+            with self._connect() as con:
+                referenced = {
+                    r["blob_sha"] for r in con.execute("SELECT blob_sha FROM artifacts")
+                }
+            for path in (self.root / "objects").glob("*/*"):
+                if path.is_file() and path.name not in referenced:
+                    freed += path.stat().st_size
+                    path.unlink()
+                    removed += 1
+        return {"removed_blobs": removed, "freed_bytes": freed}
+
+    def verify(self) -> list[dict]:
+        """Integrity-check every indexed artifact; returns found defects."""
+        defects = []
+        for row in self.rows():
+            path = self._blob_path(row.blob_sha)
+            if not path.exists():
+                defects.append({"key": row.key, "kind": row.kind, "defect": "missing-blob"})
+                continue
+            actual = hashlib.sha256(path.read_bytes()).hexdigest()
+            if actual != row.blob_sha:
+                defects.append({"key": row.key, "kind": row.kind, "defect": "hash-mismatch"})
+        return defects
+
+
+class _WriterLock:
+    """Advisory exclusive lock over the store's lock file."""
+
+    def __init__(self, path: Path, timeout: float):
+        self.path = path
+        self.timeout = timeout
+        self._fd: int | None = None
+
+    def __enter__(self) -> "_WriterLock":
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return self
+        deadline = time.monotonic() + max(0.0, self.timeout)
+        while True:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return self
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(self._fd)
+                    self._fd = None
+                    raise StoreLockError(
+                        f"another writer holds {self.path} "
+                        f"(waited {self.timeout:.1f}s)"
+                    ) from None
+                time.sleep(0.02)
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None

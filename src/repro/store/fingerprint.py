@@ -1,0 +1,83 @@
+"""Canonical fingerprints keying the content-addressed campaign store.
+
+Every result the Section-5 flow produces is a pure function of
+``(netlist, stimulus plan, config knobs, seeds, code schema)``.  The
+store exploits that by deriving one stable hexadecimal *stage key* from
+exactly those inputs:
+
+* :func:`canonical_json` serializes any JSON-able value with sorted keys
+  and no whitespace, so logically equal inputs hash equally regardless
+  of dict insertion order or formatting;
+* :func:`netlist_fingerprint` hashes the *content* of a netlist (gates,
+  pins, net names, primary I/O) -- two designs named ``diffeq`` with
+  different synthesis results get different keys, unlike the
+  name-keyed checkpoint fingerprints of :mod:`repro.core.checkpoint`;
+* :func:`stage_key` folds a stage name, a netlist fingerprint, the
+  result-relevant parameters and :data:`SCHEMA_VERSION` into the final
+  cache key.
+
+``SCHEMA_VERSION`` must be bumped whenever the *meaning* of any stored
+payload changes (a verdict encoding, a power model revision, a new
+classification rule): old artifacts then simply stop matching and are
+recomputed, which is the whole invalidation policy (see docs/store.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+#: bumped whenever stored payload semantics change incompatibly; part of
+#: every stage key, so a bump invalidates the entire store at once.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False, default=str
+    )
+
+
+def digest(obj: Any) -> str:
+    """sha-256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def netlist_fingerprint(netlist: Any) -> str:
+    """Content hash of a gate-level netlist.
+
+    Covers everything that determines simulation results and fault keys:
+    net names (fault sites are described through them), gate types, pin
+    connections, gate names/tags (tags select fault universes and the
+    power-estimation partition) and the primary input/output lists.
+    """
+    payload = {
+        "name": netlist.name,
+        "nets": list(netlist.net_names),
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "gates": [
+            [g.index, g.gtype.name, g.output, list(g.inputs), g.name, g.tag]
+            for g in netlist.gates
+        ],
+    }
+    return digest(payload)
+
+
+def stage_key(stage: str, netlist_fp: str, params: Mapping[str, Any]) -> str:
+    """The store key of one campaign stage result.
+
+    Two invocations share a key exactly when they are guaranteed to
+    produce bit-identical payloads: same code schema, same stage, same
+    netlist content and same result-relevant parameters/seeds.
+    """
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "stage": stage,
+            "netlist": netlist_fp,
+            "params": {k: params[k] for k in sorted(params)},
+        }
+    )

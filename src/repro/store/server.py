@@ -1,0 +1,193 @@
+"""``repro-faults serve``: a stdlib-only HTTP view of the campaign store.
+
+A :class:`ThreadingHTTPServer` exposes cached campaign results and store
+statistics as JSON.  Requests for a campaign that is not cached yet are
+computed on the fly through an injected ``compute`` callable (the CLI
+wires in the real cache-aware pipeline; tests inject a stub), published
+to the store, and then served -- so the first request pays the
+simulation cost and every later one is an index scan plus one
+integrity-verified blob read.
+
+Endpoints::
+
+    GET /healthz                       liveness probe
+    GET /stats                         artifact-store statistics
+    GET /campaigns                     summaries of every cached campaign
+    GET /campaigns/<design>            newest cached report for a design
+        ?threshold=0.05                select/compute at a threshold
+        ?verdict=SFR                   filter the per-fault rows
+    GET /campaigns/<design>/faults     just the fault rows (same filters)
+
+Computation is serialized by a process-wide lock: the store is
+single-writer, and stampeding identical simulations would only burn
+cores to produce the same content-addressed blob.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from .cache import CampaignStore
+from .query import QUERY_VERDICTS, _fault_rows, query_campaigns, query_json
+
+logger = logging.getLogger(__name__)
+
+#: compute-on-miss hook: (design, threshold) -> report dict (already published)
+ComputeFn = Callable[[str, float], dict]
+
+DEFAULT_THRESHOLD = 0.05
+
+
+class StoreService:
+    """Request-independent state shared by every handler thread."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        compute: ComputeFn | None = None,
+        designs: tuple[str, ...] = (),
+    ):
+        self.store = store
+        self.compute = compute
+        self.designs = designs
+        self._compute_lock = threading.Lock()
+        self.requests = 0
+        self.served_cached = 0
+        self.computed = 0
+
+    # ----------------------------------------------------------------- logic
+    def stats(self) -> dict:
+        return {
+            "store": self.store.artifacts.stats(),
+            "requests": self.requests,
+            "served_cached": self.served_cached,
+            "computed": self.computed,
+        }
+
+    def campaign(self, design: str, threshold: float | None) -> dict | None:
+        """Newest cached report for a design, computing on miss."""
+        matches = query_campaigns(self.store, design=design, threshold=threshold)
+        if matches:
+            self.served_cached += 1
+            return max(matches, key=lambda m: m.created_at).report
+        if self.compute is None:
+            return None
+        with self._compute_lock:
+            # Double-check under the lock: a sibling request may have
+            # just computed and published the same campaign.
+            matches = query_campaigns(self.store, design=design, threshold=threshold)
+            if matches:
+                self.served_cached += 1
+                return max(matches, key=lambda m: m.created_at).report
+            report = self.compute(design, threshold if threshold is not None else DEFAULT_THRESHOLD)
+        self.computed += 1
+        return report
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: StoreService  # injected by make_server
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        logger.debug("serve: " + fmt, *args)
+
+    def _send(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        svc = self.service
+        svc.requests += 1
+        url = urlsplit(self.path)
+        params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send(200, {"ok": True})
+            elif parts == ["stats"]:
+                self._send(200, svc.stats())
+            elif parts == ["campaigns"]:
+                self._send(200, query_json(query_campaigns(svc.store)))
+            elif len(parts) in (2, 3) and parts[0] == "campaigns":
+                self._campaign(parts, params)
+            else:
+                self._error(404, f"no such endpoint: {url.path}")
+        except Exception as exc:  # surface as JSON, keep the server alive
+            logger.exception("serve: request %s failed", self.path)
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _campaign(self, parts: list[str], params: dict[str, str]) -> None:
+        svc = self.service
+        design = parts[1]
+        if svc.designs and design not in svc.designs:
+            self._error(404, f"unknown design {design!r}; choose from {list(svc.designs)}")
+            return
+        threshold: float | None = None
+        if "threshold" in params:
+            try:
+                threshold = float(params["threshold"])
+            except ValueError:
+                self._error(400, f"bad threshold {params['threshold']!r}")
+                return
+            if not 0 < threshold < 1:
+                self._error(400, "threshold must be a fraction in (0, 1)")
+                return
+        verdict = params.get("verdict")
+        if verdict is not None and verdict not in QUERY_VERDICTS:
+            self._error(400, f"verdict must be one of {list(QUERY_VERDICTS)}")
+            return
+        report = svc.campaign(design, threshold)
+        if report is None:
+            self._error(
+                404,
+                f"no cached campaign for {design!r} and computation is "
+                f"disabled on this server",
+            )
+            return
+        if len(parts) == 3:
+            if parts[2] != "faults":
+                self._error(404, f"no such campaign view: {parts[2]!r}")
+                return
+            self._send(200, _fault_rows(report, verdict))
+            return
+        if verdict is not None:
+            report = dict(report, matched_faults=_fault_rows(report, verdict))
+        self._send(200, report)
+
+
+def make_server(
+    host: str,
+    port: int,
+    store: CampaignStore,
+    compute: ComputeFn | None = None,
+    designs: tuple[str, ...] = (),
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the threaded store server."""
+    service = StoreService(store, compute=compute, designs=designs)
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(server: ThreadingHTTPServer) -> None:
+    """Run until interrupted; ^C shuts down cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,397 @@
+"""Tests for the content-addressed campaign store (:mod:`repro.store`).
+
+Covers the acceptance surface of the store subsystem: fingerprint
+stability across processes, single-writer exclusion, corrupted-blob
+degradation (recompute, never crash, violation logged), gc safety,
+cold/warm bit-identity at the CLI level, journal retirement, chaos
+quarantine-not-published, and the query/serve layers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.store.artifacts import ArtifactCorrupt, ArtifactStore, StoreLockError
+from repro.store.cache import CampaignStore
+from repro.store.fingerprint import (
+    canonical_json,
+    digest,
+    netlist_fingerprint,
+    stage_key,
+)
+from repro.store.query import query_campaigns, query_json
+from repro.store.server import make_server
+
+REPO_SRC = str(Path(repro.__file__).parents[1])
+
+
+# ------------------------------------------------------------- fingerprints
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": [2, {"y": 0, "x": 1}]}) == canonical_json(
+        {"a": [2, {"x": 1, "y": 0}], "b": 1}
+    )
+    assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+    assert digest({"a": [1, 2]}) != digest({"a": [2, 1]})  # list order is data
+
+
+def test_canonical_json_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_json({"power": float("nan")})
+
+
+_FP_SCRIPT = """
+from repro.designs.catalog import cached_system
+from repro.store.fingerprint import netlist_fingerprint, stage_key
+system = cached_system("facet")
+fp = netlist_fingerprint(system.netlist)
+print(fp)
+print(stage_key("faultsim", fp, {"n": 64, "nested": {"b": 2.5, "a": "x"}}))
+"""
+
+
+def test_fingerprint_stable_across_processes():
+    """Keys must not depend on per-process state (hash seed, dict order):
+    two fresh interpreters and the current one all agree."""
+
+    def run_once() -> list[str]:
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        env.pop("PYTHONHASHSEED", None)  # let each process pick its own
+        out = subprocess.run(
+            [sys.executable, "-c", _FP_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return out.stdout.split()
+
+    first, second = run_once(), run_once()
+    assert first == second
+    from repro.designs.catalog import cached_system
+
+    system = cached_system("facet")
+    fp = netlist_fingerprint(system.netlist)
+    assert fp == first[0]
+    assert stage_key("faultsim", fp, {"n": 64, "nested": {"b": 2.5, "a": "x"}}) == first[1]
+
+
+# ---------------------------------------------------------- artifact store
+def test_put_get_roundtrip_and_dedup(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    payload = {"verdicts": {"a": [1, 2], "b": [0, -1]}}
+    store.put("faultsim", "key-one", payload, design="facet", wall_s=1.5)
+    store.put("faultsim", "key-two", payload, design="facet")  # same bytes
+    assert store.get("key-one") == payload
+    row = store.row("key-one")
+    assert row.kind == "faultsim" and row.design == "facet" and row.wall_s == 1.5
+    stats = store.stats()
+    assert stats["artifacts"] == 2
+    assert stats["blobs"] == 1  # content addressing dedups identical payloads
+    assert store.get("missing") is None
+
+
+def test_concurrent_writer_exclusion(tmp_path):
+    """A second writer must fail fast (not deadlock, not interleave) while
+    the first holds the store lock."""
+    root = tmp_path / "store"
+    first = ArtifactStore(root)
+    second = ArtifactStore(root, lock_timeout=0.2)
+    with first.writer():
+        with pytest.raises(StoreLockError):
+            second.put("faultsim", "k", {"v": 1})
+    # lock released -> the same writer succeeds
+    second.put("faultsim", "k", {"v": 1})
+    assert second.get("k") == {"v": 1}
+
+
+def _corrupt_blob(store: ArtifactStore, key: str) -> None:
+    row = store.row(key)
+    path = store._blob_path(row.blob_sha)
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x40  # flip one bit mid-payload
+    path.write_bytes(bytes(data))
+
+
+def test_corrupted_blob_detected_and_quarantined(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("grading", "k", {"baseline": 123.25})
+    _corrupt_blob(store, "k")
+    with pytest.raises(ArtifactCorrupt):
+        store.get("k")
+    # quarantined: the entry is gone, the next read is a clean miss and a
+    # recompute can republish under the same key
+    assert store.get("k") is None
+    store.put("grading", "k", {"baseline": 123.25})
+    assert store.get("k") == {"baseline": 123.25}
+
+
+def test_campaign_store_degrades_corruption_to_logged_miss(tmp_path):
+    store = CampaignStore(tmp_path / "store")
+    store.artifacts.put("faultsim", "k", {"verdicts": {}})
+    _corrupt_blob(store.artifacts, "k")
+    assert store.lookup("faultsim", "k") is None  # miss, not a crash
+    assert [v.check for v in store.violations] == ["store-blob-corrupt"]
+
+
+def test_verify_reports_defects(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("report", "good", {"a": 1})
+    store.put("report", "bad", {"b": 2})
+    row = store.row("bad")
+    store._blob_path(row.blob_sha).write_bytes(b"garbage")
+    defects = store.verify()
+    assert [d["key"] for d in defects] == ["bad"]
+    assert defects[0]["defect"] == "hash-mismatch"
+
+
+def test_gc_never_deletes_referenced_blobs(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    store.put("faultsim", "keep", {"v": 1}, design="facet")
+    # plant an orphan blob (as a crashed publish would leave behind)
+    orphan = store.root / "objects" / "zz" / ("z" * 64)
+    orphan.parent.mkdir(parents=True)
+    orphan.write_bytes(b"orphaned bytes")
+    result = store.gc()
+    assert result["removed_blobs"] == 1
+    assert not orphan.exists()
+    assert store.get("keep") == {"v": 1}  # referenced artifact untouched
+    assert store.verify() == []
+
+
+# ------------------------------------------------------- CLI cold/warm runs
+def test_cli_cold_warm_bit_identity(tmp_path, capsys):
+    """The acceptance loop: a warm store-backed grade replays faultsim and
+    Monte-Carlo results from the store, reports a full stage hit ratio,
+    and writes a byte-identical deterministic result report."""
+    store_dir = str(tmp_path / "store")
+    cold, warm = tmp_path / "cold.json", tmp_path / "warm.json"
+    cold_rep, warm_rep = tmp_path / "cold-rep.json", tmp_path / "warm-rep.json"
+    base = ["--patterns", "64", "--store-dir", store_dir]
+    assert main(base + ["--result-json", str(cold), "--report-json", str(cold_rep), "grade", "facet"]) == 0
+    capsys.readouterr()
+    assert main(base + ["--result-json", str(warm), "--report-json", str(warm_rep), "grade", "facet"]) == 0
+    out = capsys.readouterr().out
+    assert "store: 3/3 stage hits" in out
+    assert cold.read_bytes() == warm.read_bytes()
+    warm_store = json.loads(warm_rep.read_text())["store"]
+    assert warm_store["hit_ratio"] == 1.0
+    assert [s["stage"] for s in warm_store["stages"]] == ["faultsim", "grading", "report"]
+    assert all(s["hit"] for s in warm_store["stages"])
+    # the cold run published all three stages
+    cold_store = json.loads(cold_rep.read_text())["store"]
+    assert all(s["published"] and not s["hit"] for s in cold_store["stages"])
+
+    # corrupt the cached faultsim blob: the next run must fall back to
+    # recompute, log the violation, and still produce identical results
+    artifacts = ArtifactStore(store_dir)
+    fs_key = next(r.key for r in artifacts.rows(kind="faultsim"))
+    _corrupt_blob(artifacts, fs_key)
+    again = tmp_path / "again.json"
+    again_rep = tmp_path / "again-rep.json"
+    assert main(base + ["--result-json", str(again), "--report-json", str(again_rep), "grade", "facet"]) == 0
+    assert again.read_bytes() == cold.read_bytes()
+    again_store = json.loads(again_rep.read_text())["store"]
+    assert [v["check"] for v in again_store["violations"]] == ["store-blob-corrupt"]
+    fs_stage = next(s for s in again_store["stages"] if s["stage"] == "faultsim")
+    assert not fs_stage["hit"] and fs_stage["published"]  # recomputed + republished
+
+
+def test_store_refresh_forces_recompute(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    base = ["--patterns", "64", "--store-dir", store_dir]
+    assert main(base + ["classify", "facet"]) == 0
+    capsys.readouterr()
+    assert main(base + ["--store-refresh", "classify", "facet"]) == 0
+    out = capsys.readouterr().out
+    assert "0/2 stage hits" in out  # faultsim + report both recomputed
+
+
+def test_cli_store_maintenance_commands(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert main(["--patterns", "64", "--store-dir", store_dir, "classify", "facet"]) == 0
+    capsys.readouterr()
+    assert main(["--store-dir", store_dir, "store", "stats"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["artifacts"] >= 2 and stats["orphan_blobs"] == 0
+    assert main(["--store-dir", store_dir, "store", "gc"]) == 0
+    capsys.readouterr()
+    assert main(["--store-dir", store_dir, "store", "verify"]) == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+    # maintenance without a store dir is a usage error
+    assert main(["store", "stats"]) == 2
+
+
+def test_journal_retired_once_published(tmp_path, capsys):
+    """Checkpoint + store compose: once a completed campaign graduates
+    into the store, its crash-recovery journal is set aside."""
+    ckpt = tmp_path / "ckpt"
+    rc = main(
+        [
+            "--patterns", "64",
+            "--checkpoint-dir", str(ckpt),
+            "--store-dir", str(tmp_path / "store"),
+            "classify", "facet",
+        ]
+    )
+    assert rc == 0
+    assert not list(ckpt.glob("faultsim-*.jsonl"))
+    assert len(list(ckpt.glob("faultsim-*.jsonl.published"))) == 1
+
+
+def test_chaos_tainted_campaign_never_published(tmp_path, capsys):
+    """Audit-quarantined results must not be served stale: a campaign that
+    flagged integrity violations publishes nothing."""
+    store_dir = tmp_path / "store"
+    rc = main(
+        [
+            "--patterns", "64",
+            "--chaos", "bitflip:1,seed:7",
+            "--store-dir", str(store_dir),
+            "grade", "facet",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "integrity violation" in out
+    artifacts = ArtifactStore(store_dir)
+    assert list(artifacts.rows()) == []  # nothing published, any kind
+
+
+# ------------------------------------------------------------- query layer
+def _fake_report(design: str = "facet", threshold: float = 0.05) -> dict:
+    return {
+        "schema": 1,
+        "command": "grade",
+        "design": design,
+        "params": {},
+        "counts": {"SFR": 2, "SFI-detected": 1},
+        "table2": {
+            "design": design, "total_faults": 3, "sfr_faults": 2, "pct_sfr": 66.7,
+        },
+        "faults": [
+            {"fault": "1:out:5:0", "site": "g1", "category": "SFR", "quarantined": False},
+            {"fault": "2:out:6:1", "site": "g2", "category": "SFR", "quarantined": False},
+            {"fault": "3:out:7:0", "site": "g3", "category": "SFI-detected", "quarantined": False},
+        ],
+        "grading": {
+            "fault_free_uw": 100.0,
+            "threshold": threshold,
+            "summary": {},
+            "figure7": [],
+            "graded": [
+                {"fault": "1:out:5:0", "site": "g1", "group": "select",
+                 "power_uw": 90.0, "pct": -10.0, "detected": True},
+                {"fault": "2:out:6:1", "site": "g2", "group": "load",
+                 "power_uw": 101.0, "pct": 1.0, "detected": False},
+            ],
+        },
+    }
+
+
+def _publish_fake(store: CampaignStore, design: str, threshold: float = 0.05) -> str:
+    report = _fake_report(design, threshold)
+    key = digest({"design": design, "threshold": threshold})
+    store.publish("report", key, report, design=design, meta={"command": "grade"})
+    return key
+
+
+def test_query_filters(tmp_path):
+    store = CampaignStore(tmp_path / "store")
+    _publish_fake(store, "facet", 0.05)
+    _publish_fake(store, "diffeq", 0.10)
+    assert len(query_campaigns(store)) == 2
+    assert [m.design for m in query_campaigns(store, design="facet")] == ["facet"]
+    assert [m.design for m in query_campaigns(store, threshold=0.10)] == ["diffeq"]
+    sfr = query_campaigns(store, verdict="SFR")
+    assert all(len(m.faults) == 2 for m in sfr)
+    power = query_campaigns(store, design="facet", verdict="power-detected")
+    assert [f["fault"] for f in power[0].faults] == ["1:out:5:0"]
+    missed = query_campaigns(store, design="facet", verdict="power-missed")
+    assert [f["fault"] for f in missed[0].faults] == ["2:out:6:1"]
+    rows = query_json(power)
+    assert rows[0]["design"] == "facet" and rows[0]["matched_faults"] == 1
+
+
+def test_cli_query(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    _publish_fake(CampaignStore(store_dir), "facet")
+    assert main(["--store-dir", str(store_dir), "query", "--verdict", "SFR", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["design"] == "facet" and rows[0]["matched_faults"] == 2
+    assert main(["--store-dir", str(store_dir), "query"]) == 0
+    assert "Cached campaigns" in capsys.readouterr().out
+    assert main(["query"]) == 2  # needs --store-dir
+
+
+# ------------------------------------------------------------- serve layer
+@pytest.fixture()
+def serving(tmp_path):
+    store = CampaignStore(tmp_path / "store")
+    _publish_fake(store, "facet", 0.05)
+    computed: list[str] = []
+
+    def compute(design: str, threshold: float) -> dict:
+        computed.append(design)
+        report = _fake_report(design, threshold)
+        store.publish("report", digest({"design": design, "threshold": threshold}),
+                      report, design=design)
+        return report
+
+    server = make_server("127.0.0.1", 0, store, compute=compute,
+                         designs=("facet", "diffeq"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        yield base, computed
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def test_serve_endpoints(serving):
+    base, computed = serving
+    assert _get(f"{base}/healthz") == (200, {"ok": True})
+
+    status, campaigns = _get(f"{base}/campaigns")
+    assert status == 200 and [c["design"] for c in campaigns] == ["facet"]
+
+    status, report = _get(f"{base}/campaigns/facet")
+    assert status == 200 and report["design"] == "facet"
+    assert computed == []  # cached campaign served without computing
+
+    status, faults = _get(f"{base}/campaigns/facet/faults?verdict=power-detected")
+    assert status == 200 and [f["fault"] for f in faults] == ["1:out:5:0"]
+
+    # miss -> compute-on-miss exactly once, then cached
+    status, report = _get(f"{base}/campaigns/diffeq?threshold=0.05")
+    assert status == 200 and report["design"] == "diffeq"
+    _get(f"{base}/campaigns/diffeq?threshold=0.05")
+    assert computed == ["diffeq"]
+
+    status, stats = _get(f"{base}/stats")
+    assert status == 200 and stats["computed"] == 1 and stats["served_cached"] >= 2
+
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _get(f"{base}/campaigns/unknown-design")
+    assert exc_info.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _get(f"{base}/campaigns/facet?threshold=2.0")
+    assert exc_info.value.code == 400
