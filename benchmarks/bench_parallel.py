@@ -1,11 +1,12 @@
 """Serial-vs-parallel scaling of the fault-parallel engine.
 
 Times the two fan-out stages of the pipeline -- fault simulation and
-Monte-Carlo power grading -- at increasing ``n_jobs``, verifies the
-results stay bit-identical, and records the wall-clock table in
-``benchmarks/results/parallel.txt``.  On a single-core host the parallel
-rows only show process overhead; the bit-identity assertions are the
-point there.
+Monte-Carlo power grading -- at increasing ``n_jobs``, compares the
+cone-restricted engine against the unrestricted one on the same
+campaign, verifies the results stay bit-identical, and records the
+wall-clock table in ``benchmarks/results/parallel.txt``.  On a
+single-core host the parallel rows only show process overhead; the
+bit-identity assertions are the point there.
 """
 
 import os
@@ -26,7 +27,7 @@ from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
 JOB_COUNTS = (1, 2, 4)
 
 
-def _fault_sim_once(system, n_jobs, store=None):
+def _fault_sim_once(system, n_jobs, store=None, cone_sim=True, audit_rate=None):
     tpgr = TPGR(system.rtl.dfg.inputs, system.rtl.width, seed=0xACE1)
     data = {k: np.asarray(v) for k, v in tpgr.generate(PATTERNS).items()}
     stim = NormalModeStimulus(system, data, system.cycles_for(4))
@@ -40,6 +41,7 @@ def _fault_sim_once(system, n_jobs, store=None):
             netlist_fingerprint(system.netlist),
             {"bench": "parallel", "patterns": PATTERNS},
         )
+    kwargs = {} if audit_rate is None else {"audit_rate": audit_rate}
     t0 = time.perf_counter()
     result = fault_simulate(
         system.netlist,
@@ -50,6 +52,8 @@ def _fault_sim_once(system, n_jobs, store=None):
         n_jobs=n_jobs,
         store=store,
         store_key=store_key,
+        cone_sim=cone_sim,
+        **kwargs,
     )
     return time.perf_counter() - t0, result
 
@@ -112,6 +116,37 @@ def test_parallel_scaling(systems, pipelines, save_result, save_json, tmp_path):
                 "faults_per_s": len(pipelines["diffeq"].sfr_records) / elapsed,
             }
         )
+
+    # Cone-restricted vs unrestricted engine on the same campaign.  Audits
+    # are disabled so the comparison times the engines themselves, not the
+    # (identical, serial) audit re-simulations both sides would share.
+    cone_on_s = min(
+        _fault_sim_once(system, 1, audit_rate=0.0, cone_sim=True)[0]
+        for _ in range(3)
+    )
+    cone_result = _fault_sim_once(system, 1, audit_rate=0.0, cone_sim=True)[1]
+    cone_off_s = min(
+        _fault_sim_once(system, 1, audit_rate=0.0, cone_sim=False)[0]
+        for _ in range(3)
+    )
+    flat_result = _fault_sim_once(system, 1, audit_rate=0.0, cone_sim=False)[1]
+    assert cone_result.verdicts == flat_result.verdicts == base_result.verdicts
+    assert cone_result.detect_cycle == flat_result.detect_cycle
+    assert cone_result.cone is not None
+    metrics["cone"] = {
+        "cone_wall_s": cone_on_s,
+        "flat_wall_s": cone_off_s,
+        "speedup": cone_off_s / cone_on_s,
+        "evaluated_gate_fraction": cone_result.cone.evaluated_gate_fraction,
+        "early_death_rate": cone_result.cone.early_death_rate,
+    }
+    lines += [
+        "",
+        f"cone engine: flat {cone_off_s:.2f}s -> cone {cone_on_s:.2f}s "
+        f"({cone_off_s / cone_on_s:.2f}x, "
+        f"gate fraction {cone_result.cone.evaluated_gate_fraction:.2f}, "
+        f"early death {cone_result.cone.early_death_rate:.2f}, bit-identical)",
+    ]
 
     # Store replay: publish once cold, then measure the warm hit path and
     # confirm it stays bit-identical to the simulated baseline.

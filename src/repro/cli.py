@@ -244,6 +244,7 @@ def _config(args) -> PipelineConfig:
     return PipelineConfig(
         n_patterns=args.patterns,
         n_jobs=args.jobs,
+        cone_sim=args.cone_sim,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         timeout=args.timeout,
@@ -546,6 +547,15 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for per-fault loops (-1 = all cores, capped at "
         "the machine's core count; results are identical for any value -- "
         "see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--cone-sim",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cone-restricted differential fault simulation: evaluate only "
+        "each fault's sequential fanout cone against the recorded golden "
+        "trace (verdicts are bit-identical either way; default: --cone-sim "
+        "-- see docs/performance.md)",
     )
     parser.add_argument(
         "--checkpoint-dir",

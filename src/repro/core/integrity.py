@@ -15,7 +15,10 @@ This module makes campaign results self-verifying:
   batch-replay Monte-Carlo powers are recomputed through the
   generate-per-call path.  Any divergence becomes a structured
   :class:`IntegrityViolation` naming the fault, the site and the first
-  divergent cycle.
+  divergent cycle.  Cone-restricted campaigns additionally re-simulate a
+  capped handful of death-pruned faults through the serial reference
+  (:data:`DEFAULT_DEATH_AUDIT_CHECKS`), continuously cross-checking the
+  pruning proof's premises.
 
 * **Theory-grounded invariants.**  Fault-free power must be finite and
   positive; no power can exceed the library's theoretical ceiling
@@ -64,6 +67,16 @@ DEFAULT_AUDIT_RATE = 0.02
 #: scalar event-driven engine (it is 10-100x slower per pattern, so the
 #: spot-check is capped rather than rate-scaled)
 DEFAULT_EVENTSIM_CHECKS = 2
+
+#: default number of death-pruned faults re-simulated serially per campaign.
+#: The cone engine's fault-effect death pruning ends a fault early once its
+#: divergence frontier is empty and its site can never be re-excited; the
+#: claim is proved in docs/performance.md, and this spot-check keeps the
+#: proof honest at runtime ("cone-death-differential" violations).  The
+#: checked faults are hash-ranked (salt ``"death-audit"``) and disjoint
+#: from the ordinary differential-audit selection, so a clean campaign's
+#: ``audited`` count is unchanged.
+DEFAULT_DEATH_AUDIT_CHECKS = 2
 
 #: stable check id flagged when a persisted artifact-store blob fails its
 #: content hash (the stage falls back to recomputation -- see

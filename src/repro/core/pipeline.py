@@ -49,6 +49,10 @@ class PipelineConfig:
     #: worker processes for the per-fault simulation loop (1 = serial,
     #: negative = one per core); results are identical for any value.
     n_jobs: int = 1
+    #: run the fault simulation on the cone-restricted differential
+    #: engine (see :mod:`repro.logic.cones`); a pure performance knob --
+    #: verdicts are bit-identical either way.
+    cone_sim: bool = True
     #: directory for crash-safe campaign journals (None disables
     #: checkpointing); see :mod:`repro.core.checkpoint`.
     checkpoint_dir: str | None = None
@@ -73,9 +77,10 @@ class PipelineConfig:
     def fingerprint_params(self) -> dict:
         """The result-relevant knobs that key a campaign checkpoint.
 
-        Audit, strict and chaos knobs are deliberately absent: none of
-        them changes the results of a clean campaign, so toggling them
-        must not orphan an existing journal.
+        Audit, strict, chaos and cone_sim knobs are deliberately absent:
+        none of them changes the results of a clean campaign, so toggling
+        them must not orphan an existing journal (or miss a warm store
+        entry).
         """
         return {
             "n_patterns": self.n_patterns,
@@ -234,6 +239,7 @@ def run_pipeline(
         observe=observe,
         valid_masks=masks,
         n_jobs=config.n_jobs,
+        cone_sim=config.cone_sim,
         timeout=config.timeout,
         max_retries=config.max_retries,
         checkpoint=journal,

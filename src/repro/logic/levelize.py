@@ -72,3 +72,18 @@ def levelize(netlist: Netlist) -> list[list[int]]:
 def logic_depth(netlist: Netlist) -> int:
     """Number of combinational levels (0 for purely sequential netlists)."""
     return len(levelize(netlist))
+
+
+def gate_levels(netlist: Netlist) -> dict[int, int]:
+    """Flatten :func:`levelize` into gate index -> level.
+
+    Combinational gates get their 1-based topological level; sequential
+    and constant gates (level-0 sources) get 0.  Used by
+    :mod:`repro.logic.cones` to order faults by site depth so that
+    cone-overlap-aware chunking groups faults of similar locality.
+    """
+    levels = {g.index: 0 for g in netlist.gates}
+    for lvl, gates in enumerate(levelize(netlist), start=1):
+        for gi in gates:
+            levels[gi] = lvl
+    return levels

@@ -419,8 +419,20 @@ class CycleSimulator:
 
     def latch(self) -> None:
         """Clock edge: update all flip-flop outputs from settled values."""
+        self.latch_groups(self._seq_groups)
+
+    def latch_groups(self, groups: list[_Group]) -> None:
+        """Clock edge restricted to the given sequential groups.
+
+        ``latch`` passes the full compiled set; the cone-restricted fault
+        engine passes only the flip-flops inside a chunk's union cone
+        (every other register is replayed from the golden trace).  The
+        two-phase update (gather every D/enable first, then write every
+        Q) and the post-latch stem re-force match the full clock edge
+        exactly.
+        """
         updates = []
-        for group in self._seq_groups:
+        for group in groups:
             zi, oi = self._gather_all(group)
             if group.gtype is GateType.DFF:
                 updates.append((group.outputs, zi[:, 0], oi[:, 0]))
@@ -440,6 +452,37 @@ class CycleSimulator:
         if self._stem and self._stem_in_latch:
             self._apply_stems()
         self.cycles_run += 1
+
+    # --------------------------------------------------------------- planes
+    def snapshot_planes(self) -> np.ndarray:
+        """Copy the full (2, n_rows, words) state -- both value planes.
+
+        Row axis covers every net plus the two virtual constant rows, so
+        a snapshot captures driven inputs, settled combinational values,
+        current flip-flop outputs and the pinned constants alike.  The
+        cone-restricted fault engine records one snapshot per golden
+        cycle and replays it with :meth:`load_tiled_planes`.
+        """
+        return self._ZO.copy()
+
+    def load_tiled_planes(self, planes: np.ndarray) -> None:
+        """Overwrite the whole state from a narrower snapshot, tiled.
+
+        ``planes`` must be a ``(2, n_rows, words / reps)`` snapshot whose
+        word count divides this simulator's; it is broadcast across the
+        ``reps`` pattern blocks without allocating (the preallocated
+        backing array is written in place).  Stem forces are *not*
+        reapplied -- callers that inject faults must follow up exactly as
+        a drive would.
+        """
+        n_rows, words = self._ZO.shape[1:]
+        src_words = planes.shape[2]
+        if planes.shape[:2] != (2, n_rows) or words % src_words:
+            raise ValueError(
+                f"cannot tile a {planes.shape} snapshot into (2, {n_rows}, {words})"
+            )
+        reps = words // src_words
+        self._ZO.reshape(2, n_rows, reps, src_words)[:] = planes[:, :, None, :]
 
     # ------------------------------------------------------------- observing
     def planes(self, net: int):

@@ -57,6 +57,9 @@ class Netlist:
     outputs: list[int] = field(default_factory=list)
     _net_index: dict[str, int] = field(default_factory=dict, repr=False)
     _driver: dict[int, int] = field(default_factory=dict, repr=False)
+    _fanout_cache: dict[int, list[tuple[int, int]]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ nets
     def add_net(self, name: str) -> int:
@@ -66,6 +69,7 @@ class Netlist:
         nid = len(self.net_names)
         self.net_names.append(name)
         self._net_index[name] = nid
+        self._fanout_cache = None
         return nid
 
     def net_id(self, name: str) -> int:
@@ -111,6 +115,7 @@ class Netlist:
         )
         self.gates.append(gate)
         self._driver[output] = gate.index
+        self._fanout_cache = None
         return gate
 
     def driver_of(self, net: int) -> Gate | None:
@@ -133,12 +138,22 @@ class Netlist:
 
     # ------------------------------------------------------------- structure
     def fanout_map(self) -> dict[int, list[tuple[int, int]]]:
-        """Map net id -> list of (gate index, pin index) readers."""
-        fanout: dict[int, list[tuple[int, int]]] = {n: [] for n in range(self.num_nets)}
-        for gate in self.gates:
-            for pin, nid in enumerate(gate.inputs):
-                fanout[nid].append((gate.index, pin))
-        return fanout
+        """Map net id -> list of (gate index, pin index) readers.
+
+        The map is cached and invalidated whenever a net or gate is
+        added; treat the returned dict as read-only.  Structural analyses
+        (fault collapsing, cone closures, power fanout loads, the event
+        simulator) all share one rebuild per netlist revision.
+        """
+        if self._fanout_cache is None:
+            fanout: dict[int, list[tuple[int, int]]] = {
+                n: [] for n in range(self.num_nets)
+            }
+            for gate in self.gates:
+                for pin, nid in enumerate(gate.inputs):
+                    fanout[nid].append((gate.index, pin))
+            self._fanout_cache = fanout
+        return self._fanout_cache
 
     def gates_with_tag(self, prefix: str) -> list[Gate]:
         """Return gates whose tag equals or starts with ``prefix``."""

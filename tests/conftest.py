@@ -3,11 +3,13 @@ they are session-scoped and reused across the test modules."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.core.pipeline import PipelineConfig, controller_fault_universe, run_pipeline
 from repro.designs.catalog import build_rtl
-from repro.hls.system import build_system
+from repro.hls.system import NormalModeStimulus, build_system, hold_masks
+from repro.tpg.tpgr import TPGR
 
 
 @pytest.fixture(scope="session")
@@ -33,3 +35,16 @@ def facet_pipeline(facet_system):
 @pytest.fixture(scope="session")
 def diffeq_pipeline(diffeq_system):
     return run_pipeline(diffeq_system, PipelineConfig(n_patterns=128))
+
+
+@pytest.fixture(scope="session")
+def facet_faultsim_setup(facet_system):
+    """A complete facet fault-simulation campaign setup (128 patterns)."""
+    system = facet_system
+    tpgr = TPGR(system.rtl.dfg.inputs, system.rtl.width, seed=0xACE1)
+    data = {k: np.asarray(v) for k, v in tpgr.generate(128).items()}
+    stim = NormalModeStimulus(system, data, system.cycles_for(3))
+    masks = hold_masks(system, stim)
+    observe = [n for bus in system.output_buses.values() for n in bus]
+    faults = [system.to_system_fault(s) for s in controller_fault_universe(system)]
+    return system, stim, masks, observe, faults

@@ -1,0 +1,223 @@
+"""Cone closure correctness and cone-engine bit-identity.
+
+Two layers of evidence that the cone-restricted differential engine is a
+pure performance lever:
+
+* the structural layer -- the sequential-transitive-fanout closure equals
+  brute-force multi-cycle reachability on randomized netlists, and every
+  net that actually diverges in a faulted simulation lies inside the
+  computed cone;
+* the behavioural layer -- cone-on and cone-off campaigns produce
+  bit-identical verdicts and detect cycles across designs, batch sizes
+  and job counts, each also matching the serial reference simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.logic.cones import FaultCone, chunk_by_cone, compute_cones
+from repro.logic.faults import enumerate_faults
+from repro.logic.faultsim import (
+    ConeStats,
+    GoldenTrace,
+    fault_simulate,
+    run_golden,
+    simulate_one_fault,
+)
+from repro.logic.simulator import CycleSimulator
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+def _random_netlist(rng: np.random.Generator) -> Netlist:
+    """A random small sequential netlist (always valid: inputs feed first)."""
+    nl = Netlist(name="rand")
+    nets = [nl.add_net(f"pi{i}") for i in range(4)]
+    for n in nets:
+        nl.mark_input(n)
+    comb = [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOT]
+    for i in range(int(rng.integers(8, 20))):
+        out = nl.add_net(f"n{i}")
+        gtype = comb[int(rng.integers(len(comb)))] if rng.random() < 0.7 else GateType.DFF
+        if gtype is GateType.NOT or gtype is GateType.DFF:
+            ins = [nets[int(rng.integers(len(nets)))]]
+        else:
+            ins = [nets[int(rng.integers(len(nets)))] for _ in range(2)]
+        if gtype is GateType.DFF:
+            # a flip-flop may read any net, including later ones, without
+            # forming a combinational loop -- but only earlier nets exist
+            # in this incremental construction, which is fine: the BFS
+            # closure is what is under test, not loop topologies.
+            nl.add_gate(gtype, out, ins)
+        else:
+            nl.add_gate(gtype, out, ins)
+        nets.append(out)
+    nl.mark_output(nets[-1])
+    nl.validate()
+    return nl
+
+
+def _brute_force_reach(nl: Netlist, seed: int) -> tuple[set[int], set[int]]:
+    """Multi-cycle reachability by repeated single-step propagation.
+
+    One step: a gate reading a disturbed net produces a disturbed output.
+    Iterate until the disturbed set stops growing -- the number of rounds
+    bounds any number of clock cycles, so this is sequential reachability
+    computed the slow, obviously-correct way.
+    """
+    disturbed = {seed}
+    gates: set[int] = set()
+    while True:
+        grew = False
+        for g in nl.gates:
+            if any(n in disturbed for n in g.inputs):
+                if g.index not in gates:
+                    gates.add(g.index)
+                    grew = True
+                if g.output not in disturbed:
+                    disturbed.add(g.output)
+                    grew = True
+        if not grew:
+            return gates, disturbed
+
+
+class TestConeClosure:
+    def test_matches_brute_force_on_random_netlists(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            nl = _random_netlist(rng)
+            faults = [
+                f for f in enumerate_faults(nl) if f.is_stem and f.value == 1
+            ][:10]
+            cones = compute_cones(nl, faults)
+            for fault in faults:
+                gates, nets = _brute_force_reach(nl, fault.net)
+                assert cones[fault].gates == gates
+                assert cones[fault].nets == nets | {fault.net}
+
+    def test_branch_cone_is_gate_plus_output_closure(self):
+        rng = np.random.default_rng(11)
+        nl = _random_netlist(rng)
+        branch = next(f for f in enumerate_faults(nl) if not f.is_stem)
+        cone = compute_cones(nl, [branch])[branch]
+        out = nl.gates[branch.gate_index].output
+        gates, nets = _brute_force_reach(nl, out)
+        assert cone.gates == gates | {branch.gate_index}
+        assert cone.nets == nets | {out}
+
+    def test_observable_is_net_intersection(self):
+        cone = FaultCone(gates=frozenset({1}), nets=frozenset({3, 4}))
+        assert cone.observable([4, 9])
+        assert not cone.observable([9])
+
+    def test_divergence_stays_inside_cone(self, facet_faultsim_setup):
+        """Empirical containment: every net that differs between a faulted
+        and the fault-free simulation lies inside the computed cone."""
+        system, stim, _masks, _observe, faults = facet_faultsim_setup
+        nl = system.netlist
+        picks = faults[:: max(1, len(faults) // 8)]
+        cones = compute_cones(nl, picks)
+        for fault in picks:
+            good = CycleSimulator(nl, stim.n_patterns)
+            bad = CycleSimulator(nl, stim.n_patterns, faults=[fault])
+            for cycle in range(stim.n_cycles):
+                stim.apply(good, cycle)
+                stim.apply(bad, cycle)
+                good.settle()
+                bad.settle()
+                differs = (
+                    (good.Z[: nl.num_nets] != bad.Z[: nl.num_nets])
+                    | (good.O[: nl.num_nets] != bad.O[: nl.num_nets])
+                ).any(axis=1)
+                diverged = set(np.flatnonzero(differs).tolist())
+                assert diverged <= cones[fault].nets, (
+                    f"{fault} diverged outside its cone at cycle {cycle}"
+                )
+                good.latch()
+                bad.latch()
+
+
+class TestChunkByCone:
+    def test_partition_preserves_faults(self, facet_faultsim_setup):
+        system, _stim, _masks, _observe, faults = facet_faultsim_setup
+        cones = compute_cones(system.netlist, faults)
+        chunks = chunk_by_cone(faults, cones, 7, system.netlist, key=str)
+        flat = [f for c in chunks for f in c]
+        assert sorted(flat, key=str) == sorted(faults, key=str)
+        assert all(len(c) <= 7 for c in chunks)
+
+
+class TestConeEngineBitIdentity:
+    @pytest.mark.parametrize("batch_faults,n_jobs", [(1, 1), (7, 1), (32, 2)])
+    def test_matches_cone_off_and_serial(
+        self, facet_faultsim_setup, batch_faults, n_jobs
+    ):
+        system, stim, masks, observe, faults = facet_faultsim_setup
+        on = fault_simulate(
+            system.netlist, faults, stim, observe=observe, valid_masks=masks,
+            batch_faults=batch_faults, n_jobs=n_jobs, cone_sim=True,
+        )
+        off = fault_simulate(
+            system.netlist, faults, stim, observe=observe, valid_masks=masks,
+            batch_faults=batch_faults, n_jobs=n_jobs, cone_sim=False,
+        )
+        assert on.verdicts == off.verdicts
+        assert on.detect_cycle == off.detect_cycle
+        golden = run_golden(system.netlist, stim, observe)
+        for fault in faults:
+            verdict, cycle = simulate_one_fault(
+                system.netlist, fault, stim, observe, golden, masks
+            )
+            assert on.verdicts[fault] is verdict
+            assert on.detect_cycle.get(fault, -1) == cycle
+
+    @pytest.mark.parametrize("fixture", ["diffeq_system", "poly_system"])
+    def test_other_designs_match(self, fixture, request):
+        from repro.core.pipeline import run_pipeline
+
+        system = request.getfixturevalue(fixture)
+        on = run_pipeline(system, PipelineConfig(n_patterns=64, cone_sim=True))
+        off = run_pipeline(system, PipelineConfig(n_patterns=64, cone_sim=False))
+        assert [r.simulation for r in on.records] == [
+            r.simulation for r in off.records
+        ]
+        assert [r.category for r in on.records] == [r.category for r in off.records]
+
+    def test_cone_stats_populated(self, facet_faultsim_setup):
+        system, stim, masks, observe, faults = facet_faultsim_setup
+        res = fault_simulate(
+            system.netlist, faults, stim, observe=observe, valid_masks=masks,
+        )
+        stats = res.cone
+        assert isinstance(stats, ConeStats)
+        assert stats.faults == len(faults)
+        assert 0 < stats.gate_evals <= stats.gate_evals_full
+        assert stats.evaluated_gate_fraction < 1.0
+        assert 0.0 <= stats.early_death_rate <= 1.0
+        payload = stats.to_json_dict()
+        assert payload["gate_evals_full"] == stats.gate_evals_full
+
+    def test_odd_pattern_count_falls_back(self, facet_system):
+        """A pattern count that is not a multiple of 64 silently uses the
+        unrestricted engine (no cone stats, same verdicts)."""
+        from repro.core.pipeline import run_pipeline
+
+        on = run_pipeline(facet_system, PipelineConfig(n_patterns=48, cone_sim=True))
+        off = run_pipeline(facet_system, PipelineConfig(n_patterns=48, cone_sim=False))
+        assert [r.category for r in on.records] == [r.category for r in off.records]
+
+
+class TestKnobNeutrality:
+    def test_cone_sim_not_in_fingerprint(self):
+        on = PipelineConfig(cone_sim=True).fingerprint_params()
+        off = PipelineConfig(cone_sim=False).fingerprint_params()
+        assert on == off
+        assert "cone_sim" not in on
+
+    def test_golden_trace_is_drop_in_for_list(self):
+        z = np.zeros((1, 1), dtype=np.uint64)
+        trace = GoldenTrace(observed=[(z, z), (z, z)])
+        assert len(trace) == 2
+        assert trace[1] == (z, z)
+        assert trace.planes is None

@@ -13,11 +13,9 @@ import pytest
 
 from repro.core.grading import grade_sfr_faults
 from repro.core.parallel import ParallelExecutor, resolve_n_jobs
-from repro.core.pipeline import controller_fault_universe
-from repro.hls.system import NormalModeStimulus, hold_masks
-from repro.logic.faultsim import fault_simulate
+from repro.hls.system import NormalModeStimulus
+from repro.logic.faultsim import _TiledSim, fault_simulate
 from repro.logic.simulator import CycleSimulator, compile_netlist
-from repro.tpg.tpgr import TPGR
 
 
 def _square(context, item):
@@ -49,18 +47,6 @@ class TestParallelExecutor:
         assert resolve_n_jobs(2) == 2
         assert resolve_n_jobs(5) == 4  # capped at the core count
         assert resolve_n_jobs(-1) == 4
-
-
-@pytest.fixture(scope="module")
-def facet_faultsim_setup(facet_system):
-    system = facet_system
-    tpgr = TPGR(system.rtl.dfg.inputs, system.rtl.width, seed=0xACE1)
-    data = {k: np.asarray(v) for k, v in tpgr.generate(128).items()}
-    stim = NormalModeStimulus(system, data, system.cycles_for(3))
-    masks = hold_masks(system, stim)
-    observe = [n for bus in system.output_buses.values() for n in bus]
-    faults = [system.to_system_fault(s) for s in controller_fault_universe(system)]
-    return system, stim, masks, observe, faults
 
 
 class TestFaultSimParallel:
@@ -178,3 +164,15 @@ class TestDriveBusWidth:
         }
         with pytest.raises(ValueError, match="exceeds"):
             NormalModeStimulus(system, data, system.cycles_for(2))
+
+    def test_tiled_drive_bus_rejects_out_of_range(self, facet_system):
+        """The block-parallel drive adapter mirrors the simulator's guard:
+        out-of-range bus data used to alias silently into every block."""
+        wide = CycleSimulator(facet_system.netlist, 2 * 64)
+        tiled = _TiledSim(wide, 64, 2)
+        bus = next(iter(facet_system.input_buses.values()))
+        too_wide = np.full(64, 1 << len(bus), dtype=np.int64)
+        with pytest.raises(ValueError, match="out of range"):
+            tiled.drive_bus(list(bus), too_wide)
+        with pytest.raises(ValueError, match="out of range"):
+            tiled.drive_bus(list(bus), np.full(64, -1, dtype=np.int64))
