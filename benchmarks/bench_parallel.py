@@ -117,6 +117,64 @@ def test_parallel_scaling(systems, pipelines, save_result, save_json, tmp_path):
             }
         )
 
+    # Grading kernel: the serial per-fault reference vs the block-parallel
+    # kernel, flat and cone-restricted, all bit-identical by contract.
+    n_sfr = len(pipelines["diffeq"].sfr_records)
+    kernel_rows = {}
+    for label, kwargs in (
+        ("serial", dict(batched=False)),
+        ("batched_flat", dict(batched=True, cone_power=False)),
+        ("batched_cone", dict(batched=True, cone_power=True)),
+    ):
+        t0 = time.perf_counter()
+        grading = grade_sfr_faults(
+            system,
+            pipelines["diffeq"],
+            batch_patterns=MC_BATCH,
+            max_batches=MC_MAX_BATCHES,
+            audit_rate=0.0,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - t0
+        assert grading.fault_free_uw == base_grading.fault_free_uw
+        assert [
+            (g.power_uw, g.pct_change, g.group) for g in grading.graded
+        ] == [(g.power_uw, g.pct_change, g.group) for g in base_grading.graded]
+        kernel_rows[label] = {"wall_s": elapsed, "faults_per_s": n_sfr / elapsed}
+
+    fault_sim_fps = next(
+        s["faults_per_s"]
+        for s in metrics["stages"]
+        if s["stage"] == "fault_sim" and s["n_jobs"] == 1
+    )
+    grading_fps = kernel_rows["batched_cone"]["faults_per_s"]
+    ratio = fault_sim_fps / grading_fps
+    metrics["grading_kernel"] = {
+        **{f"{k}_{f}": v[f] for k, v in kernel_rows.items() for f in v},
+        "speedup_flat": kernel_rows["serial"]["wall_s"]
+        / kernel_rows["batched_flat"]["wall_s"],
+        "speedup_cone": kernel_rows["serial"]["wall_s"]
+        / kernel_rows["batched_cone"]["wall_s"],
+        "fault_sim_faults_per_s": fault_sim_fps,
+        "fault_sim_to_grading_ratio": ratio,
+    }
+    lines += [
+        "",
+        "grading kernel (audits off, bit-identical):",
+    ] + [
+        f"  {label:<14}{row['wall_s']:>8.2f}s{row['faults_per_s']:>10.1f} faults/s"
+        for label, row in kernel_rows.items()
+    ] + [
+        f"  fault_sim/grading throughput ratio: {ratio:.1f}x",
+    ]
+    if ratio > 8.0:
+        msg = (
+            f"LOUD: grading is still {ratio:.1f}x slower than fault "
+            f"simulation (target <= 8x) -- the power kernel has regressed"
+        )
+        print(msg)
+        lines.append(f"  {msg}")
+
     # Cone-restricted vs unrestricted engine on the same campaign.  Audits
     # are disabled so the comparison times the engines themselves, not the
     # (identical, serial) audit re-simulations both sides would share.

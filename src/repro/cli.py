@@ -302,6 +302,8 @@ def _cmd_grade(args) -> int:
         strict=args.strict,
         chaos=chaos_engine,
         store=store,
+        batched=args.batched_grading,
+        cone_power=args.cone_power,
     )
     _print_campaign(grading.campaign, "grading campaign")
     report = _result_report(store, system, config, result, grading, command="grade")
@@ -356,6 +358,8 @@ def _compute_campaign(args, store: CampaignStore, design: str, threshold: float)
         audit_rate=args.audit_rate,
         strict=args.strict,
         store=store,
+        batched=args.batched_grading,
+        cone_power=args.cone_power,
     )
     return _result_report(store, system, config, result, grading, command="grade")
 
@@ -556,6 +560,24 @@ def main(argv: list[str] | None = None) -> int:
         "each fault's sequential fanout cone against the recorded golden "
         "trace (verdicts are bit-identical either way; default: --cone-sim "
         "-- see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--batched-grading",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="block-parallel Monte-Carlo grading kernel: every fault of a "
+        "chunk owns one pattern block of a single wide simulation per "
+        "batch (powers are bit-identical either way; default: "
+        "--batched-grading -- see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--cone-power",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cone-restricted batched grading: simulate only each chunk's "
+        "union fault cone per batch and splice every other counter from "
+        "one fault-free reference run (bit-identical; default: "
+        "--cone-power -- see docs/performance.md)",
     )
     parser.add_argument(
         "--checkpoint-dir",

@@ -18,15 +18,18 @@ import numpy as np
 
 from ..hls.system import System
 from ..power.estimator import PowerEstimator
+from ..logic import values as V
 from ..power.montecarlo import (
     MC_DEFAULT_BATCH_PATTERNS,
+    MC_DEFAULT_ITERATIONS_WINDOW,
     MC_DEFAULT_MAX_BATCHES,
     MC_DEFAULT_SEED,
     MonteCarloResult,
     mc_campaign_params,
     measure_power,
     monte_carlo_power,
-    precompute_batches,
+    monte_carlo_power_block,
+    shared_batches,
 )
 from ..store.cache import CampaignStore, StageProvenance, StageTimer
 from ..store.fingerprint import netlist_fingerprint, stage_key
@@ -44,11 +47,21 @@ from .integrity import (
     format_value,
     select_audit,
 )
-from .parallel import ParallelExecutor, RunReport
+from .parallel import ParallelExecutor, RunReport, resolve_n_jobs
 from .pipeline import FaultRecord, PipelineResult
 
 #: journal key of the fault-free Monte-Carlo baseline
 _BASELINE_KEY = "__fault_free__"
+
+#: width cap (in 64-bit words) of one batched grading simulator; bounds
+#: chunk size so a huge SFR universe cannot blow up worker memory (the
+#: cone-engine cap of :mod:`repro.logic.faultsim`, applied to grading).
+_GRADE_MAX_WORDS = 8192
+
+#: target faults per batched grading chunk (before job balancing and the
+#: memory cap); the fixed per-cycle numpy dispatch cost amortizes across
+#: this many pattern blocks.
+_GRADE_CHUNK_FAULTS = 32
 
 
 @dataclass
@@ -98,8 +111,22 @@ class GradingResult:
 
 
 def _grade_worker(context, fault):
-    """Monte-Carlo one fault against shared precomputed batches (pickles)."""
-    system, estimator, batches, max_batches, iterations_window = context
+    """Monte-Carlo one fault against shared precomputed batches (pickles).
+
+    The context carries only the campaign knobs -- each worker process
+    regenerates the packed batch stimuli locally through the
+    :func:`~repro.power.montecarlo.shared_batches` memo (bit-identical by
+    construction: one RNG stream from one seed), so the pool never pickles
+    the batch list itself.
+    """
+    system, estimator, seed, batch_patterns, max_batches, iterations_window = context
+    batches = shared_batches(
+        system,
+        seed=seed,
+        batch_patterns=batch_patterns,
+        max_batches=max_batches,
+        iterations_window=iterations_window,
+    )
     return monte_carlo_power(
         system,
         estimator,
@@ -107,6 +134,40 @@ def _grade_worker(context, fault):
         max_batches=max_batches,
         iterations_window=iterations_window,
         batches=batches,
+    )
+
+
+def _grade_chunk_worker(context, chunk):
+    """Monte-Carlo a whole fault chunk through the block-parallel kernel.
+
+    One wide simulation per Monte-Carlo batch for every still-unconverged
+    fault of the chunk; per-fault results are bit-identical to
+    :func:`_grade_worker` on the same knobs.
+    """
+    (
+        system,
+        estimator,
+        seed,
+        batch_patterns,
+        max_batches,
+        iterations_window,
+        cone_power,
+    ) = context
+    batches = shared_batches(
+        system,
+        seed=seed,
+        batch_patterns=batch_patterns,
+        max_batches=max_batches,
+        iterations_window=iterations_window,
+    )
+    return monte_carlo_power_block(
+        system,
+        estimator,
+        chunk,
+        max_batches=max_batches,
+        iterations_window=iterations_window,
+        batches=batches,
+        cone_power=cone_power,
     )
 
 
@@ -118,7 +179,7 @@ def grade_sfr_faults(
     seed: int = MC_DEFAULT_SEED,
     batch_patterns: int = MC_DEFAULT_BATCH_PATTERNS,
     max_batches: int = MC_DEFAULT_MAX_BATCHES,
-    iterations_window: int = 4,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
     n_jobs: int = 1,
     timeout: float | None = None,
     max_retries: int = 2,
@@ -128,16 +189,29 @@ def grade_sfr_faults(
     strict: bool = False,
     chaos=None,
     store: CampaignStore | None = None,
+    batched: bool = True,
+    cone_power: bool = True,
 ) -> GradingResult:
     """Monte-Carlo grade every SFR fault of a pipeline result.
 
-    Each random batch is generated and packed once (``precompute_batches``)
-    and replayed for the fault-free baseline and every SFR fault; the
-    per-fault campaigns fan out across ``n_jobs`` processes with
-    bit-identical powers regardless of job count.  With ``checkpoint_dir``
-    set, the baseline and every per-fault result are journaled as they
-    complete, and a rerun with ``resume=True`` replays journaled powers
-    bit-identically instead of recomputing them.
+    Each random batch is generated and packed once (``shared_batches``)
+    and replayed for the fault-free baseline and every SFR fault.  Faults
+    are graded in block-parallel chunks by default (``batched=True``):
+    each fault of a chunk owns one pattern block of a single wide
+    simulator, so every Monte-Carlo batch is one compiled-netlist pass
+    for the whole chunk instead of one simulator per fault per batch,
+    and ``cone_power=True`` additionally restricts each batch to the
+    chunk's union fault cone (fault power = golden power + cone counter
+    delta).  Both are pure performance levers -- powers, convergence
+    histories, journals and store fingerprints are bit-identical to the
+    per-fault path (``batched=False``), which is retained as the
+    differential-audit reference; campaigns whose ``batch_patterns`` is
+    not a multiple of 64 fall back to it automatically.  The chunks fan
+    out across ``n_jobs`` processes with bit-identical powers regardless
+    of job count.  With ``checkpoint_dir`` set, the baseline and every
+    per-fault result are journaled as they complete, and a rerun with
+    ``resume=True`` replays journaled powers bit-identically instead of
+    recomputing them.
 
     Integrity layer (see :mod:`repro.core.integrity`): the fault-free
     baseline must be finite, positive and below the estimator's
@@ -236,14 +310,14 @@ def grade_sfr_faults(
             chaos.set_flip_targets(sorted(audit_keys))
         context = None
         if todo or _BASELINE_KEY not in mc_by_key:
-            batches = precompute_batches(
+            context = (
                 system,
-                seed=seed,
-                batch_patterns=batch_patterns,
-                max_batches=max_batches,
-                iterations_window=iterations_window,
+                estimator,
+                seed,
+                batch_patterns,
+                max_batches,
+                iterations_window,
             )
-            context = (system, estimator, batches, max_batches, iterations_window)
         if _BASELINE_KEY in mc_by_key:
             base = mc_by_key[_BASELINE_KEY]
         else:
@@ -260,29 +334,66 @@ def grade_sfr_faults(
             f"{ceiling_uw:.6g} uW); a poisoned baseline poisons every grade"
         )
     if not store_hit and todo:
+        todo_sites = [r.system_site for r in todo]
+        use_block = batched and batch_patterns % V.WORD_BITS == 0
 
-        def _journal_chunk(sites, results) -> None:
-            for site, mc in zip(sites, results):
-                key = fault_key(site)
-                if chaos is not None:
-                    mc = chaos.tamper_power(key, mc)
-                mc_by_key[key] = mc
-                if journal is not None:
-                    journal.record(key, mc.to_json_dict())
+        def _journal_fault(site, mc) -> None:
+            key = fault_key(site)
+            if chaos is not None:
+                mc = chaos.tamper_power(key, mc)
+            mc_by_key[key] = mc
+            if journal is not None:
+                journal.record(key, mc.to_json_dict())
 
-        worker, run_context = _grade_worker, context
+        if use_block:
+            # Block-parallel kernel: order-preserving fault chunks, each
+            # graded in one wide simulation per Monte-Carlo batch.  Chunk
+            # width balances the job count, targets _GRADE_CHUNK_FAULTS
+            # blocks for numpy-dispatch amortization, and is capped so
+            # the ``len(chunk) * batch_patterns``-wide worker simulator
+            # stays within _GRADE_MAX_WORDS.
+            jobs = max(1, resolve_n_jobs(n_jobs))
+            wpb = batch_patterns // V.WORD_BITS
+            size = max(
+                1,
+                min(
+                    -(-len(todo_sites) // jobs),
+                    _GRADE_CHUNK_FAULTS,
+                    _GRADE_MAX_WORDS // wpb,
+                ),
+            )
+            items = [
+                todo_sites[i : i + size]
+                for i in range(0, len(todo_sites), size)
+            ]
+            worker, run_context = _grade_chunk_worker, (*context, cone_power)
+
+            def _journal_chunk(chunk_items, chunk_results) -> None:
+                for sites, mcs in zip(chunk_items, chunk_results):
+                    for site, mc in zip(sites, mcs):
+                        _journal_fault(site, mc)
+
+        else:
+            items = todo_sites
+            worker, run_context = _grade_worker, context
+
+            def _journal_chunk(sites, results) -> None:
+                for site, mc in zip(sites, results):
+                    _journal_fault(site, mc)
+
         if chaos is not None:
             worker, run_context = chaos.wrap(worker, run_context)
-        executor = ParallelExecutor(n_jobs, timeout=timeout, max_retries=max_retries)
-        executor.run(
-            worker,
-            [r.system_site for r in todo],
-            run_context,
-            on_chunk=_journal_chunk,
+        executor = ParallelExecutor(
+            n_jobs,
+            chunk_size=1 if use_block else None,
+            timeout=timeout,
+            max_retries=max_retries,
         )
+        executor.run(worker, items, run_context, on_chunk=_journal_chunk)
         assert executor.last_report is not None
         report = executor.last_report
         report.n_items = len(records)
+        report.completed = len(todo)
         report.resumed = len(records) - len(todo)
 
     if not store_hit:
@@ -389,7 +500,7 @@ def power_under_test_set(
     fault,
     seed: int,
     n_patterns: int = 1200,
-    iterations_window: int = 4,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
 ) -> float:
     """Average datapath power for one fixed TPGR test set (Table 3)."""
     tpgr = TPGR(system.rtl.dfg.inputs, system.rtl.width, seed=seed)

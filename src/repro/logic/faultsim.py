@@ -400,15 +400,26 @@ class _ConeSim:
         observe: list[int],
         wpb: int,
         has_masks: bool,
+        count_toggles: bool = False,
     ):
         self.n_blocks = n_b = len(faults)
         self.wpb = wpb
         blocks = [(b * wpb, (b + 1) * wpb) for b in range(n_b)]
+        # ``count_toggles`` arms the per-block counters for the Monte-Carlo
+        # power kernel: the restricted schedule never calls ``settle()``
+        # (the power kernel counts its union-net toggles itself), but
+        # ``latch_groups`` accumulates per-block DFFE load events.
         self.sim = sim = CycleSimulator(
-            netlist, n_b * wpb * V.WORD_BITS, faults=faults, fault_blocks=blocks
+            netlist,
+            n_b * wpb * V.WORD_BITS,
+            faults=faults,
+            fault_blocks=blocks,
+            count_toggles=count_toggles,
+            toggle_blocks=n_b if count_toggles else None,
         )
         union_gates = set().union(*(cones[f].gates for f in faults))
         union_nets = set().union(*(cones[f].nets for f in faults))
+        self.union_nets = union_nets
         sub_levels, seq_subs, row_maps = _restrict_to_cone(compiled, union_gates)
         self.seq_subs = seq_subs
         for gid, hits in sim._group_poison.items():

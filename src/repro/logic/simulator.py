@@ -226,6 +226,15 @@ class CycleSimulator:
             (the fault-parallel engine of :mod:`repro.logic.faultsim`).
             ``None`` entries (or omitting the list) inject across all
             patterns, the classic single-fault behaviour.
+        toggle_blocks: accumulate toggle/load counters per pattern block
+            instead of globally.  With ``toggle_blocks=B`` (which must
+            divide the word count evenly), ``toggles`` becomes
+            ``(B, num_nets)`` and ``load_events`` ``(B, n_dffe)``: row
+            ``b`` counts only words ``[b*wpb, (b+1)*wpb)`` of the pattern
+            axis, exactly what a standalone simulator over that block
+            would have counted.  This is the counter side of the
+            fault-parallel Monte-Carlo power kernel (each fault block
+            gets its own power estimate from one wide pass).
     """
 
     def __init__(
@@ -236,6 +245,7 @@ class CycleSimulator:
         count_toggles: bool = False,
         compiled: CompiledNetlist | None = None,
         fault_blocks: list[tuple[int, int] | None] | None = None,
+        toggle_blocks: int | None = None,
     ):
         self.netlist = netlist
         self.compiled = compiled if compiled is not None else compile_netlist(netlist)
@@ -254,8 +264,19 @@ class CycleSimulator:
         self._prev_Z = np.zeros_like(self.Z)
         self._prev_O = np.zeros_like(self.O)
         self._have_prev = False
-        self._toggles_rows = np.zeros(c.n_rows, dtype=np.int64)
-        self.toggles = self._toggles_rows[: c.num_nets]
+        self.toggle_blocks = toggle_blocks
+        if toggle_blocks is not None:
+            if toggle_blocks < 1 or self.words % toggle_blocks:
+                raise ValueError(
+                    f"toggle_blocks={toggle_blocks} must divide the "
+                    f"{self.words}-word pattern axis evenly"
+                )
+            self._block_wpb = self.words // toggle_blocks
+            self._toggles_rows = np.zeros((toggle_blocks, c.n_rows), dtype=np.int64)
+            self.toggles = self._toggles_rows[:, : c.num_nets]
+        else:
+            self._toggles_rows = np.zeros(c.n_rows, dtype=np.int64)
+            self.toggles = self._toggles_rows[: c.num_nets]
         self.cycles_run = 0
 
         self._const0 = c.const0
@@ -263,7 +284,10 @@ class CycleSimulator:
         self._levels = c.levels
         self._seq_groups = c.seq_groups
         self._dffe_index = c.dffe_index
-        self.load_events = np.zeros(c.n_dffe, dtype=np.int64)
+        if toggle_blocks is not None:
+            self.load_events = np.zeros((toggle_blocks, c.n_dffe), dtype=np.int64)
+        else:
+            self.load_events = np.zeros(c.n_dffe, dtype=np.int64)
 
         # Fault bookkeeping: branch faults keyed by group id and resolved to
         # (row, pin) positions against the shared compile; stem faults keyed
@@ -412,10 +436,28 @@ class CycleSimulator:
         if self.count_toggles:
             if self._have_prev:
                 flips = (self._prev_Z & self.O) | (self._prev_O & self.Z)
-                self._toggles_rows += np.bitwise_count(flips).sum(axis=1, dtype=np.int64)
+                self._toggles_rows += self._count_words(np.bitwise_count(flips))
             np.copyto(self._prev_Z, self.Z)
             np.copyto(self._prev_O, self.O)
             self._have_prev = True
+
+    def _count_words(self, counts: np.ndarray) -> np.ndarray:
+        """Reduce per-word popcounts ``(rows, words)`` to counter shape.
+
+        Global counters sum the whole pattern axis; per-block counters
+        (``toggle_blocks``) sum each block's word range separately and
+        transpose to ``(blocks, rows)``, matching the counter layout.
+        Both are exact integer sums, so a block row equals what the same
+        simulation restricted to that block would have accumulated.
+        """
+        if self.toggle_blocks is None:
+            return counts.sum(axis=1, dtype=np.int64)
+        rows = counts.shape[0]
+        return (
+            counts.reshape(rows, self.toggle_blocks, self._block_wpb)
+            .sum(axis=2, dtype=np.int64)
+            .T
+        )
 
     def latch(self) -> None:
         """Clock edge: update all flip-flop outputs from settled values."""
@@ -443,9 +485,11 @@ class CycleSimulator:
                 z, o = V.v_mux2(ze, oe, zq, oq, zi[:, 1], oi[:, 1])
                 updates.append((group.outputs, z, o))
                 if self.count_toggles:
-                    self.load_events[group.dffe_rows] += np.bitwise_count(oe).sum(
-                        axis=1, dtype=np.int64
-                    )
+                    counts = self._count_words(np.bitwise_count(oe))
+                    if self.toggle_blocks is None:
+                        self.load_events[group.dffe_rows] += counts
+                    else:
+                        self.load_events[:, group.dffe_rows] += counts
         for outputs, z, o in updates:
             self.Z[outputs] = z
             self.O[outputs] = o

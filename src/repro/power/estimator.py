@@ -104,7 +104,13 @@ class PowerEstimator:
         )
         return cap_ff * lib.energy_per_ff() * lib.f_clk * 1e6
 
-    def _check_counters(self, sim: CycleSimulator) -> None:
+    def _check_counters(
+        self,
+        toggles: np.ndarray,
+        load_events: np.ndarray,
+        cycles: int,
+        patterns: int,
+    ) -> None:
         """Bound-check toggle/load counters at the accumulation boundary.
 
         A toggle count is a popcount over patterns accumulated once per
@@ -114,16 +120,15 @@ class PowerEstimator:
         offending net is named so the error points at the gate where the
         bad value entered, not at the final table.
         """
-        limit = sim.cycles_run * sim.n_patterns
-        toggles = sim.toggles
+        limit = cycles * patterns
         if toggles.min(initial=0) < 0 or toggles.max(initial=0) > limit:
             bad = int(np.flatnonzero((toggles < 0) | (toggles > limit))[0])
             raise IntegrityError(
                 f"net {self.netlist.net_names[bad]!r} reports {toggles[bad]} "
                 f"toggles; the physical bound is {limit} "
-                f"({sim.cycles_run} cycles x {sim.n_patterns} patterns)"
+                f"({cycles} cycles x {patterns} patterns)"
             )
-        loads = sim.load_events
+        loads = load_events
         if loads.size and (loads.min() < 0 or loads.max() > limit):
             bad_row = int(np.flatnonzero((loads < 0) | (loads > limit))[0])
             gate = self.dffe_gates[bad_row]
@@ -155,24 +160,86 @@ class PowerEstimator:
         """
         if not sim.count_toggles:
             raise ValueError("simulator was not counting toggles")
-        lib = self.library
+        if sim.toggle_blocks is not None:
+            raise ValueError(
+                "simulator counts toggles per block; use power_blocks()"
+            )
+        if sim.cycles_run == 0:
+            raise ValueError("no cycles simulated")
+        self._check_counters(sim.toggles, sim.load_events, sim.cycles_run, sim.n_patterns)
+        return self.power_from_counts(
+            sim.toggles, sim.load_events, sim.cycles_run, sim.n_patterns, tag_prefix
+        )
+
+    def power_blocks(
+        self, sim: CycleSimulator, tag_prefix: str | None = None
+    ) -> list[PowerResult]:
+        """Per-block average powers from one wide block-parallel run.
+
+        ``sim`` must have been built with ``count_toggles=True`` and
+        ``toggle_blocks=B``; the result has one :class:`PowerResult` per
+        block, each bit-identical to what :meth:`power` reports for a
+        standalone simulator over that block's patterns.  The identity is
+        trivial by construction: block counters are exact integer
+        restrictions of the standalone ones (same popcount sums over the
+        same words), and each block's float pipeline below is the very
+        same 1-D contiguous reduction :meth:`power` runs -- a row of the
+        C-ordered ``(B, nets)`` counter array is contiguous, so numpy's
+        pairwise summation visits identical operands in identical order.
+        """
+        if not sim.count_toggles:
+            raise ValueError("simulator was not counting toggles")
+        n_blocks = sim.toggle_blocks
+        if n_blocks is None:
+            raise ValueError("simulator counts toggles globally; use power()")
         cycles = sim.cycles_run
-        patterns = sim.n_patterns
         if cycles == 0:
             raise ValueError("no cycles simulated")
-        self._check_counters(sim)
+        block_patterns = sim.n_patterns // n_blocks
+        results = []
+        for b in range(n_blocks):
+            self._check_counters(
+                sim.toggles[b], sim.load_events[b], cycles, block_patterns
+            )
+            results.append(
+                self.power_from_counts(
+                    sim.toggles[b],
+                    sim.load_events[b],
+                    cycles,
+                    block_patterns,
+                    tag_prefix,
+                )
+            )
+        return results
+
+    def power_from_counts(
+        self,
+        toggles: np.ndarray,
+        load_events: np.ndarray,
+        cycles: int,
+        patterns: int,
+        tag_prefix: str | None = None,
+    ) -> PowerResult:
+        """Toggle/load counters -> :class:`PowerResult` (the shared core).
+
+        ``toggles`` is a 1-D per-net count array, ``load_events`` a 1-D
+        per-DFFE count array.  All tag machinery is the interned-index
+        form built once at construction, so the conversion is a handful
+        of array reductions regardless of design size.
+        """
+        lib = self.library
         denom = cycles * patterns
         e_ff = lib.energy_per_ff()
 
         tag_sel = self._tag_mask(tag_prefix)
         n_tags = len(self._tags)
 
-        per_net_ff = sim.toggles * self.net_cap_ff
+        per_net_ff = toggles * self.net_cap_ff
         net_sel = tag_sel[self._net_tag_idx]
         sw_energy_ff = float((per_net_ff * net_sel).sum())
 
         # Per-tag switching energy over toggling, selected nets.
-        active = net_sel & (sim.toggles != 0)
+        active = net_sel & (toggles != 0)
         sw_by_tag = np.bincount(
             self._net_tag_idx[active], weights=per_net_ff[active], minlength=n_tags
         )
@@ -184,7 +251,7 @@ class PowerEstimator:
             dffe_sel = tag_sel[self._dffe_tag_idx]
             clk_by_tag += np.bincount(
                 self._dffe_tag_idx[dffe_sel],
-                weights=sim.load_events[dffe_sel] * lib.dffe_clock_cap,
+                weights=load_events[dffe_sel] * lib.dffe_clock_cap,
                 minlength=n_tags,
             )
             tag_present |= np.bincount(self._dffe_tag_idx[dffe_sel], minlength=n_tags) > 0

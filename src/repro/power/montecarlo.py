@@ -16,20 +16,37 @@ batch as a packed :class:`NormalModeStimulus` exactly once; passing the
 list to ``monte_carlo_power`` (via ``batches=``) replays it without
 regenerating or re-packing data, with results bit-identical to the
 generate-per-call path for the same seed and batch size.
+(``shared_batches`` memoizes that list per system object, so pool workers
+regenerate it locally instead of receiving it pickled.)
+
+``monte_carlo_power_block`` is the fault-parallel campaign kernel: each
+fault of a chunk owns one pattern block of a single wide block-parallel
+simulator, every Monte-Carlo batch is one compiled-netlist pass for the
+whole chunk, per-fault convergence is tracked exactly as the serial loop
+does, and converged faults are compacted out of the next batch's
+simulator.  With ``cone_power=True`` each batch additionally applies the
+cone restriction: one fault-free reference run per batch supplies the
+toggle counts of every net outside a fault's sequential fanout cone
+(those nets provably never diverge -- see docs/performance.md), and only
+the chunk's union cone is simulated.  Either way the per-fault
+``MonteCarloResult`` is bit-identical to ``monte_carlo_power``.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.errors import IntegrityError
 from ..hls.system import NormalModeStimulus, System
+from ..logic import values as V
+from ..logic.cones import compute_cones
 from ..logic.faults import FaultSite
-from ..logic.simulator import CycleSimulator
+from ..logic.simulator import CycleSimulator, compile_netlist
 from .estimator import PowerEstimator, PowerResult
 
 DATAPATH_TAG = "dp"
@@ -65,7 +82,7 @@ def measure_power(
     estimator: PowerEstimator,
     data: dict[str, np.ndarray] | NormalModeStimulus,
     fault: FaultSite | None = None,
-    iterations_window: int = 4,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
     hold_cycles: int = 3,
     tag_prefix: str | None = DATAPATH_TAG,
 ) -> PowerResult:
@@ -162,7 +179,7 @@ def precompute_batches(
     seed: int = MC_DEFAULT_SEED,
     batch_patterns: int = MC_DEFAULT_BATCH_PATTERNS,
     max_batches: int = MC_DEFAULT_MAX_BATCHES,
-    iterations_window: int = 4,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
     hold_cycles: int = 3,
 ) -> list[NormalModeStimulus]:
     """Materialise every Monte-Carlo batch as a packed stimulus, once.
@@ -179,6 +196,43 @@ def precompute_batches(
     ]
 
 
+# Precomputed batch lists, memoized per live System object (the compile-
+# cache idiom: id()-keyed, evicted by a weakref finalizer).  Campaign
+# workers regenerate their batches from the seed through this cache, so
+# the parallel context pickled to each pool never carries the packed
+# batch stimuli -- only the knobs.  Regeneration is bit-identical by
+# construction (one RNG stream from one seed).
+_BATCH_CACHE: dict[int, dict[tuple, list[NormalModeStimulus]]] = {}
+
+
+def shared_batches(
+    system: System,
+    seed: int = MC_DEFAULT_SEED,
+    batch_patterns: int = MC_DEFAULT_BATCH_PATTERNS,
+    max_batches: int = MC_DEFAULT_MAX_BATCHES,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
+    hold_cycles: int = 3,
+) -> list[NormalModeStimulus]:
+    """:func:`precompute_batches`, memoized per system object and knobs."""
+    key = id(system)
+    per_system = _BATCH_CACHE.get(key)
+    if per_system is None:
+        per_system = _BATCH_CACHE[key] = {}
+        weakref.finalize(system, _BATCH_CACHE.pop, key, None)
+    params = (seed, batch_patterns, max_batches, iterations_window, hold_cycles)
+    batches = per_system.get(params)
+    if batches is None:
+        batches = per_system[params] = precompute_batches(
+            system,
+            seed=seed,
+            batch_patterns=batch_patterns,
+            max_batches=max_batches,
+            iterations_window=iterations_window,
+            hold_cycles=hold_cycles,
+        )
+    return batches
+
+
 def monte_carlo_power(
     system: System,
     estimator: PowerEstimator,
@@ -188,7 +242,7 @@ def monte_carlo_power(
     max_batches: int = MC_DEFAULT_MAX_BATCHES,
     min_batches: int = 3,
     rel_tol: float = 0.004,
-    iterations_window: int = 4,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
     hold_cycles: int = 3,
     batches: list[NormalModeStimulus] | None = None,
 ) -> MonteCarloResult:
@@ -262,3 +316,325 @@ def monte_carlo_power(
         history=history,
         converged=False,
     )
+
+
+class _FlatBlockKernel:
+    """Per-chunk flat (full-netlist) block-parallel power kernel.
+
+    Fault ``b`` owns pattern block ``b`` of a simulator ``len(faults)``
+    times wider than one batch; stem forces and branch poisons are
+    confined to their block, and the per-block toggle/load counters make
+    each block's power exactly what a standalone faulted simulator over
+    the same batch reports.  One instance serves every batch of an
+    unchanged live-fault set (state and counters reset between batches,
+    matching the fresh-simulator-per-batch serial semantics); the driver
+    rebuilds a narrower kernel when convergence compacts faults out.
+    """
+
+    def __init__(self, system: System, estimator: PowerEstimator, faults: list[FaultSite]):
+        self.system = system
+        self.estimator = estimator
+        self.faults = list(faults)
+        self.sim: CycleSimulator | None = None
+
+    def run(self, stim: NormalModeStimulus, tag_prefix: str | None) -> list[PowerResult]:
+        from ..logic.faultsim import _TiledSim
+
+        n_blocks = len(self.faults)
+        if self.sim is None:
+            wpb = stim.n_patterns // V.WORD_BITS
+            blocks = [(b * wpb, (b + 1) * wpb) for b in range(n_blocks)]
+            self.sim = CycleSimulator(
+                self.system.netlist,
+                n_blocks * stim.n_patterns,
+                faults=self.faults,
+                fault_blocks=blocks,
+                count_toggles=True,
+                toggle_blocks=n_blocks,
+            )
+            self.tiled = _TiledSim(self.sim, stim.n_patterns, n_blocks)
+        else:
+            self.sim.reset_state()
+            self.sim._toggles_rows[:] = 0
+            self.sim.load_events[:] = 0
+        sim = self.sim
+        for cycle in range(stim.n_cycles):
+            stim.apply(self.tiled, cycle)
+            sim.settle()
+            sim.latch()
+        return self.estimator.power_blocks(sim, tag_prefix=tag_prefix)
+
+
+@dataclass
+class _GoldenBatch:
+    """Fault-free reference of one batch: per-cycle planes + counters."""
+
+    planes: list[np.ndarray]  # (2, n_rows, words) snapshot per settled cycle
+    toggles: np.ndarray  # (num_nets,) fault-free toggle counts
+    load_events: np.ndarray  # (n_dffe,) fault-free DFFE load counts
+    cycles: int
+
+
+# Golden batch runs, memoized per live stimulus object (grading replays
+# the same precomputed batches for every fault chunk, so each worker
+# simulates each batch's fault-free reference exactly once).
+_GOLDEN_CACHE: dict[int, _GoldenBatch] = {}
+
+
+def _golden_batch(system: System, stim: NormalModeStimulus) -> _GoldenBatch:
+    key = id(stim)
+    golden = _GOLDEN_CACHE.get(key)
+    if golden is not None:
+        return golden
+    sim = CycleSimulator(system.netlist, stim.n_patterns, count_toggles=True)
+    planes = []
+    for cycle in range(stim.n_cycles):
+        stim.apply(sim, cycle)
+        sim.settle()
+        planes.append(sim.snapshot_planes())
+        sim.latch()
+    golden = _GoldenBatch(
+        planes, sim.toggles.copy(), sim.load_events.copy(), sim.cycles_run
+    )
+    weakref.finalize(stim, _GOLDEN_CACHE.pop, key, None)
+    _GOLDEN_CACHE[key] = golden
+    return golden
+
+
+class _ConeBlockKernel:
+    """Per-chunk cone-restricted block-parallel power kernel.
+
+    Only a fault's sequential fanout cone can ever diverge from the
+    fault-free machine (the PR-5 cone theorem, docs/performance.md), so a
+    fault's power differs from golden only through the toggle counts of
+    its cone nets and the load counts of its cone DFFEs.  One golden run
+    per batch (memoized across chunks) supplies every other counter; the
+    chunk simulates just its union cone on the block-parallel
+    :class:`~repro.logic.faultsim._ConeSim`, counting toggles per block
+    over the union nets.  Counters are exact integers either way, so the
+    resulting powers are bit-identical to the flat kernel's.  Like
+    :class:`_FlatBlockKernel`, one instance serves every batch of an
+    unchanged live-fault set.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        estimator: PowerEstimator,
+        faults: list[FaultSite],
+        cones,
+    ):
+        self.system = system
+        self.estimator = estimator
+        self.faults = list(faults)
+        self.cones = cones
+        self.cs = None
+
+    def _build(self, wpb: int) -> None:
+        from ..logic.faultsim import _ConeSim
+
+        netlist = self.system.netlist
+        n_blocks = len(self.faults)
+        self.cs = cs = _ConeSim(
+            netlist,
+            compile_netlist(netlist),
+            self.faults,
+            self.cones,
+            [],
+            wpb,
+            False,
+            count_toggles=True,
+        )
+        self.counted = np.array(sorted(cs.union_nets), dtype=np.int64)
+        self.state = np.zeros(
+            (2, len(cs.state_rows), n_blocks * wpb), dtype=np.uint64
+        )
+        self.prev = np.empty((2, len(self.counted), n_blocks * wpb), dtype=np.uint64)
+        self.counts = np.zeros((n_blocks, len(self.counted)), dtype=np.int64)
+
+    def run(self, stim: NormalModeStimulus, tag_prefix: str | None) -> list[PowerResult]:
+        golden = _golden_batch(self.system, stim)
+        n_blocks = len(self.faults)
+        wpb = stim.n_patterns // V.WORD_BITS
+        if self.cs is None:
+            self._build(wpb)
+        else:
+            self.cs.sim.reset_state()
+            self.cs.sim.load_events[:] = 0
+            self.state[:] = 0
+            self.counts[:] = 0
+        cs, counted, state, prev, counts = (
+            self.cs, self.counted, self.state, self.prev, self.counts,
+        )
+        sim = cs.sim
+        have_prev = False
+        for cycle in range(stim.n_cycles):
+            cs.run_cycle(golden.planes[cycle], state)
+            if have_prev:
+                flips = (prev[0] & sim.O[counted]) | (prev[1] & sim.Z[counted])
+                counts += (
+                    np.bitwise_count(flips)
+                    .reshape(len(counted), n_blocks, wpb)
+                    .sum(axis=2, dtype=np.int64)
+                    .T
+                )
+            prev[0] = sim.Z[counted]
+            prev[1] = sim.O[counted]
+            have_prev = True
+            cs.latch(state)
+        # Splice: golden counters everywhere, simulated counters on the
+        # union cone.  For a block whose fault's own cone is a strict
+        # subset of the union, the extra union rows carry fault-free
+        # values in that block (they are outside the fault's cone), so
+        # the spliced counts still equal the standalone faulted run's.
+        estimator = self.estimator
+        toggles = np.tile(golden.toggles, (n_blocks, 1))
+        toggles[:, counted] = counts
+        loads = np.tile(golden.load_events, (n_blocks, 1))
+        for group in cs.seq_subs:
+            if group.dffe_rows is not None:
+                loads[:, group.dffe_rows] = sim.load_events[:, group.dffe_rows]
+        results = []
+        for b in range(n_blocks):
+            estimator._check_counters(
+                toggles[b], loads[b], golden.cycles, stim.n_patterns
+            )
+            results.append(
+                estimator.power_from_counts(
+                    toggles[b], loads[b], golden.cycles, stim.n_patterns, tag_prefix
+                )
+            )
+        return results
+
+
+def monte_carlo_power_block(
+    system: System,
+    estimator: PowerEstimator,
+    faults: list[FaultSite],
+    seed: int = MC_DEFAULT_SEED,
+    batch_patterns: int = MC_DEFAULT_BATCH_PATTERNS,
+    max_batches: int = MC_DEFAULT_MAX_BATCHES,
+    min_batches: int = 3,
+    rel_tol: float = 0.004,
+    iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
+    hold_cycles: int = 3,
+    batches: list[NormalModeStimulus] | None = None,
+    cone_power: bool = True,
+) -> list[MonteCarloResult]:
+    """Monte-Carlo power of a whole fault chunk in block-parallel passes.
+
+    Returns one :class:`MonteCarloResult` per fault, bit-identical to
+    calling :func:`monte_carlo_power` per fault with the same knobs --
+    same ``power_uw``, ``batches``, ``patterns`` and ``history``.  Each
+    batch is one wide simulation over the still-unconverged faults
+    (converged faults are compacted out, exactly mirroring the serial
+    loop's early return), flat or cone-restricted per ``cone_power``.
+
+    Batches whose pattern count is not a multiple of the 64-bit word
+    size cannot be block-partitioned and fall back to the serial
+    per-fault path.  Callers are responsible for keeping chunks small
+    enough for the ``len(faults) * batch_patterns``-wide simulator to
+    fit in memory (the grading layer chunks accordingly).
+    """
+    faults = list(faults)
+    if not faults:
+        return []
+    if batch_patterns < 1 or max_batches < 1 or min_batches < 1:
+        raise ValueError(
+            "batch_patterns, max_batches and min_batches must all be >= 1 "
+            f"(got {batch_patterns}, {max_batches}, {min_batches})"
+        )
+    if rel_tol <= 0:
+        raise ValueError(f"rel_tol must be positive, got {rel_tol}")
+    patterns_per_batch = batches[0].n_patterns if batches else batch_patterns
+    if patterns_per_batch % V.WORD_BITS:
+        return [
+            monte_carlo_power(
+                system,
+                estimator,
+                fault=fault,
+                seed=seed,
+                batch_patterns=batch_patterns,
+                max_batches=max_batches,
+                min_batches=min_batches,
+                rel_tol=rel_tol,
+                iterations_window=iterations_window,
+                hold_cycles=hold_cycles,
+                batches=batches,
+            )
+            for fault in faults
+        ]
+    if batches is None:
+        rng = np.random.default_rng(seed)
+        n_cycles = system.cycles_for(iterations_window, hold_cycles)
+
+        def batch_stim(_batch: int) -> NormalModeStimulus:
+            return NormalModeStimulus(
+                system, random_data(system, rng, batch_patterns), n_cycles
+            )
+
+    else:
+        max_batches = min(max_batches, len(batches))
+
+        def batch_stim(batch: int) -> NormalModeStimulus:
+            return batches[batch - 1]
+
+    cones = compute_cones(system.netlist, faults) if cone_power else None
+    n_faults = len(faults)
+    totals: list[list[float]] = [[] for _ in range(n_faults)]
+    history: list[list[float]] = [[] for _ in range(n_faults)]
+    final: list[MonteCarloResult | None] = [None] * n_faults
+    live = list(range(n_faults))
+    kernel = None
+    kernel_live: list[int] = []
+    for batch in range(1, max_batches + 1):
+        stim = batch_stim(batch)
+        if kernel is None or kernel_live != live:
+            # Convergence compaction: rebuild the kernel one block per
+            # still-unconverged fault; an unchanged live set reuses the
+            # previous batch's simulator (state reset, counters zeroed).
+            live_faults = [faults[i] for i in live]
+            kernel = (
+                _ConeBlockKernel(system, estimator, live_faults, cones)
+                if cone_power
+                else _FlatBlockKernel(system, estimator, live_faults)
+            )
+            kernel_live = list(live)
+        powers = kernel.run(stim, DATAPATH_TAG)
+        survivors = []
+        for pos, i in enumerate(live):
+            result = powers[pos]
+            # Accumulation boundary guard, as in the serial loop: one bad
+            # batch is caught where it enters, not after averaging.
+            if not math.isfinite(result.total_uw) or result.total_uw < 0:
+                raise IntegrityError(
+                    f"Monte-Carlo batch {batch} produced an unusable power "
+                    f"{result.total_uw!r} uW (fault={faults[i]!r})"
+                )
+            totals[i].append(result.total_uw)
+            mean = float(np.mean(totals[i]))
+            history[i].append(mean)
+            if batch >= min_batches:
+                prev = history[i][-2]
+                if prev > 0 and abs(mean - prev) / prev < rel_tol:
+                    final[i] = MonteCarloResult(
+                        power_uw=mean,
+                        batches=batch,
+                        patterns=batch * result.patterns,
+                        history=history[i],
+                    )
+                    continue
+            survivors.append(i)
+        live = survivors
+        if not live:
+            break
+    for i in live:
+        final[i] = MonteCarloResult(
+            power_uw=float(np.mean(totals[i])),
+            batches=max_batches,
+            patterns=max_batches * patterns_per_batch,
+            history=history[i],
+            converged=False,
+        )
+    assert all(r is not None for r in final)
+    return final  # type: ignore[return-value]

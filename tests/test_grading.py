@@ -2,13 +2,23 @@
 
 import pytest
 
+import repro.core.parallel as parallel_mod
+from repro.cli import main
+from repro.core.checkpoint import fault_key
 from repro.core.grading import (
     grade_sfr_faults,
     pick_representative,
     table3_rows,
     power_under_test_set,
 )
+from repro.core.pipeline import PipelineConfig, run_pipeline
 from repro.power.estimator import PowerEstimator
+from repro.power.montecarlo import (
+    monte_carlo_power,
+    monte_carlo_power_block,
+    shared_batches,
+)
+from repro.store.cache import CampaignStore
 
 
 @pytest.fixture(scope="module")
@@ -110,3 +120,193 @@ class TestTestSets:
         )
         pcts = rows[1].per_set_pct
         assert abs(pcts[0] - pcts[1]) < 6.0
+
+
+# --------------------------------------------- batched-kernel bit identity
+def _assert_mc_equal(a, b):
+    """Bit-identical MonteCarloResult: exact floats, not approx."""
+    assert a.power_uw == b.power_uw
+    assert a.batches == b.batches
+    assert a.patterns == b.patterns
+    assert a.history == b.history
+    assert a.converged == b.converged
+
+
+def _assert_grading_equal(a, b):
+    assert a.fault_free_uw == b.fault_free_uw
+    assert len(a.graded) == len(b.graded)
+    for ga, gb in zip(a.graded, b.graded):
+        assert fault_key(ga.record.system_site) == fault_key(gb.record.system_site)
+        assert ga.power_uw == gb.power_uw
+        assert ga.pct_change == gb.pct_change
+        assert ga.group == gb.group
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Pretend the machine has 4 cores so n_jobs > 1 builds a real pool."""
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+
+
+@pytest.fixture(scope="module")
+def poly_pipeline(poly_system):
+    return run_pipeline(poly_system, PipelineConfig(n_patterns=128))
+
+
+class TestBlockKernelBitIdentity:
+    """monte_carlo_power_block vs the serial per-fault reference."""
+
+    @pytest.mark.parametrize("design", ["facet", "diffeq", "poly"])
+    @pytest.mark.parametrize("cone_power", [False, True])
+    def test_matches_serial_per_fault(self, design, cone_power, request):
+        system = request.getfixturevalue(f"{design}_system")
+        pipeline = request.getfixturevalue(f"{design}_pipeline")
+        faults = [r.system_site for r in pipeline.sfr_records][:6]
+        assert faults, f"{design} has no SFR faults to grade"
+        est = PowerEstimator(system.netlist)
+        kwargs = dict(batch_patterns=64, max_batches=4)
+        batches = shared_batches(system, **kwargs)
+        block = monte_carlo_power_block(
+            system, est, faults, batches=batches, cone_power=cone_power, **kwargs
+        )
+        for fault, got in zip(faults, block):
+            ref = monte_carlo_power(
+                system, est, fault=fault, batches=batches, **kwargs
+            )
+            _assert_mc_equal(got, ref)
+
+    @pytest.mark.parametrize("rel_tol", [0.5, 1e-12])
+    def test_early_and_late_convergence(self, facet_system, facet_pipeline, rel_tol):
+        """rel_tol=0.5 converges at min_batches; 1e-12 exhausts the budget
+        (converged=False) -- compaction and the non-converged tail must
+        both reproduce the serial loop exactly."""
+        faults = [r.system_site for r in facet_pipeline.sfr_records][:4]
+        est = PowerEstimator(facet_system.netlist)
+        kwargs = dict(batch_patterns=64, max_batches=5, rel_tol=rel_tol)
+        block = monte_carlo_power_block(
+            facet_system, est, faults, cone_power=True, **kwargs
+        )
+        for fault, got in zip(faults, block):
+            ref = monte_carlo_power(facet_system, est, fault=fault, **kwargs)
+            _assert_mc_equal(got, ref)
+        if rel_tol == 0.5:
+            assert all(r.converged and r.batches == 3 for r in block)
+        else:
+            assert not any(r.converged for r in block)
+
+    def test_unaligned_batch_falls_back_to_serial(self, facet_system, facet_pipeline):
+        """batch_patterns not a multiple of 64 cannot be block-partitioned;
+        the kernel must hand each fault to the serial path unchanged."""
+        faults = [r.system_site for r in facet_pipeline.sfr_records][:3]
+        est = PowerEstimator(facet_system.netlist)
+        kwargs = dict(batch_patterns=96, max_batches=3)
+        block = monte_carlo_power_block(facet_system, est, faults, **kwargs)
+        for fault, got in zip(faults, block):
+            _assert_mc_equal(
+                got, monte_carlo_power(facet_system, est, fault=fault, **kwargs)
+            )
+
+
+class TestBatchedGradingBitIdentity:
+    """grade_sfr_faults(batched=True) vs the retained serial path."""
+
+    @pytest.fixture(scope="class")
+    def serial_grading(self, facet_system, facet_pipeline):
+        return grade_sfr_faults(
+            facet_system,
+            facet_pipeline,
+            batch_patterns=64,
+            max_batches=3,
+            batched=False,
+        )
+
+    @pytest.mark.parametrize("cone_power", [False, True])
+    def test_batched_matches_serial(
+        self, facet_system, facet_pipeline, serial_grading, cone_power
+    ):
+        batched = grade_sfr_faults(
+            facet_system,
+            facet_pipeline,
+            batch_patterns=64,
+            max_batches=3,
+            batched=True,
+            cone_power=cone_power,
+        )
+        _assert_grading_equal(serial_grading, batched)
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_bit_identical_across_jobs(
+        self, facet_system, facet_pipeline, serial_grading, multicore, n_jobs
+    ):
+        batched = grade_sfr_faults(
+            facet_system,
+            facet_pipeline,
+            batch_patterns=64,
+            max_batches=3,
+            n_jobs=n_jobs,
+        )
+        _assert_grading_equal(serial_grading, batched)
+
+    def test_resume_serial_journal_into_batched(
+        self, facet_system, facet_pipeline, serial_grading, tmp_path
+    ):
+        """A checkpoint journal written by the serial path resumes into a
+        batched campaign bit-identically (and vice versa: the journal
+        format carries no kernel fingerprint, only result-relevant knobs)."""
+        kwargs = dict(batch_patterns=64, max_batches=3)
+        grade_sfr_faults(
+            facet_system,
+            facet_pipeline,
+            checkpoint_dir=str(tmp_path),
+            batched=False,
+            **kwargs,
+        )
+        # Truncate the journal to the baseline + the first two fault
+        # records: the batched resume replays those and recomputes the
+        # rest through the block kernel.
+        (journal_path,) = tmp_path.glob("grading-*.jsonl")
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[:4]) + "\n")
+        resumed = grade_sfr_faults(
+            facet_system,
+            facet_pipeline,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+            batched=True,
+            **kwargs,
+        )
+        assert resumed.campaign.resumed == 2
+        _assert_grading_equal(serial_grading, resumed)
+
+    def test_warm_store_replay(
+        self, facet_system, facet_pipeline, serial_grading, tmp_path
+    ):
+        """A batched campaign publishes to the store under the same key the
+        serial path uses; a warm serial rerun replays it bit-identically."""
+        store = CampaignStore(tmp_path / "store")
+        kwargs = dict(batch_patterns=64, max_batches=3)
+        cold = grade_sfr_faults(
+            facet_system, facet_pipeline, store=store, batched=True, **kwargs
+        )
+        warm = grade_sfr_faults(
+            facet_system, facet_pipeline, store=store, batched=False, **kwargs
+        )
+        assert any(p.hit for p in store.provenance)
+        _assert_grading_equal(serial_grading, cold)
+        _assert_grading_equal(cold, warm)
+
+    def test_cli_result_json_byte_identical(self, tmp_path):
+        """The deterministic --result-json report must not change a byte
+        between the batched kernel and the serial reference path."""
+        batched = tmp_path / "batched.json"
+        serial = tmp_path / "serial.json"
+        argv = ["--patterns", "64"]
+        tail = ["grade", "facet"]
+        assert main([*argv, "--result-json", str(batched), *tail]) == 0
+        assert (
+            main(
+                [*argv, "--no-batched-grading", "--result-json", str(serial), *tail]
+            )
+            == 0
+        )
+        assert batched.read_bytes() == serial.read_bytes()

@@ -174,6 +174,56 @@ class TestToggleCounting:
         assert sim.load_events[0] == 3  # one enabled pattern x 3 cycles
 
 
+class TestBlockToggleCounting:
+    """Per-block counters of one wide fault-parallel run vs standalone sims."""
+
+    def _dffe_netlist(self):
+        """en/d -> DFFE -> inverter, so both counter kinds are exercised."""
+        b = NetlistBuilder()
+        en, d = b.input("en"), b.input("d")
+        q = b.dffe(en, d, output=b.net("q"))
+        y = b.not_(q, output=b.net("y"))
+        b.output(y)
+        return b.done(), en, d, q
+
+    def test_block_counters_match_standalone_sims(self):
+        nl, en, d, q = self._dffe_netlist()
+        g = nl.driver_of(q)
+        faults = [FaultSite(g.index, -1, q, 1), FaultSite(g.index, -1, q, 0)]
+        rng = np.random.default_rng(7)
+        en_bits = [rng.integers(0, 2, 64) for _ in faults]
+        d_bits = [rng.integers(0, 2, 64) for _ in faults]
+
+        wide = CycleSimulator(
+            nl,
+            128,
+            faults=faults,
+            fault_blocks=[(0, 1), (1, 2)],
+            count_toggles=True,
+            toggle_blocks=2,
+        )
+        wide.drive(en, np.concatenate(en_bits))
+        wide.drive(d, np.concatenate(d_bits))
+        for _ in range(4):
+            wide.settle()
+            wide.latch()
+
+        for blk, fault in enumerate(faults):
+            solo = CycleSimulator(nl, 64, faults=[fault], count_toggles=True)
+            solo.drive(en, en_bits[blk])
+            solo.drive(d, d_bits[blk])
+            for _ in range(4):
+                solo.settle()
+                solo.latch()
+            assert np.array_equal(wide.toggles[blk], solo.toggles)
+            assert np.array_equal(wide.load_events[blk], solo.load_events)
+
+    def test_toggle_blocks_must_divide_words(self):
+        nl, en, d, q = self._dffe_netlist()
+        with pytest.raises(ValueError, match="toggle_blocks"):
+            CycleSimulator(nl, 64, count_toggles=True, toggle_blocks=2)
+
+
 class TestFaultInjection:
     def test_stem_fault_forces_net(self):
         nl, (a, c, d), (y, z) = _comb_netlist()
