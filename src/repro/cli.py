@@ -85,6 +85,32 @@ def _jobs_arg(text: str) -> int:
     return value
 
 
+def _port_arg(text: str) -> int:
+    """argparse type for --port: a TCP port, 0 (ephemeral) to 65535."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be in [0, 65535] (0 = ephemeral), got {value}"
+        )
+    return value
+
+
+def _queue_depth_arg(text: str) -> int:
+    """argparse type for --queue-depth: admitted-job bound, 1..4096."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 1 <= value <= 4096:
+        raise argparse.ArgumentTypeError(
+            f"queue depth must be in [1, 4096], got {value}"
+        )
+    return value
+
+
 def _positive_float(text: str) -> float:
     try:
         value = float(text)
@@ -400,6 +426,8 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import os
+
     from .store.server import make_server, serve_forever
 
     store = _store(args)
@@ -408,16 +436,29 @@ def _cmd_serve(args) -> int:
         return 2
     compute = None
     if not args.no_compute:
+        # Journal compute jobs under the store by default so a job-level
+        # retry after a mid-request worker crash *resumes* the campaign
+        # from its checkpoint instead of restarting it.
+        if args.checkpoint_dir is None:
+            args.checkpoint_dir = os.path.join(args.store_dir, "serve-ckpt")
+            args.resume = True
 
         def compute(design: str, threshold: float) -> dict:
             return _compute_campaign(args, store, design, threshold)
 
     server = make_server(
-        args.host, args.port, store, compute=compute, designs=tuple(design_names())
+        args.host,
+        args.port,
+        store,
+        compute=compute,
+        designs=tuple(design_names()),
+        queue_depth=args.queue_depth,
+        workers=args.serve_workers,
+        request_timeout=args.request_timeout,
     )
     host, port = server.server_address[:2]
     print(f"serving store {args.store_dir} on http://{host}:{port} (Ctrl-C stops)")
-    serve_forever(server)
+    serve_forever(server, drain_grace=args.drain_grace)
     return 0
 
 
@@ -691,12 +732,41 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("serve", help="HTTP endpoint over cached campaign results")
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=_nonnegative_int, default=8357)
+    p.add_argument("--port", type=_port_arg, default=8357)
     p.add_argument(
         "--no-compute",
         action="store_true",
         help="serve cached results only; a miss returns 404 instead of "
         "running the pipeline",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=_queue_depth_arg,
+        default=8,
+        help="max compute jobs admitted (queued + running); excess "
+        "requests get 503 + Retry-After instead of piling up (default: 8)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline: a compute that outlives it returns 504, "
+        "is quarantined, and its worker slot is reclaimed (default: none)",
+    )
+    p.add_argument(
+        "--serve-workers",
+        type=_positive_int,
+        default=2,
+        help="compute worker threads draining the job queue (default: 2)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=_positive_float,
+        default=30.0,
+        metavar="SECONDS",
+        help="SIGTERM drain budget: finish in-flight jobs for up to this "
+        "long while refusing new work (default: 30)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -18,6 +18,21 @@ shapes, each with its own exception so callers can react precisely:
   the violation poisons everything downstream (a bad fault-free
   baseline).  See :mod:`repro.core.integrity`.
 
+The campaign *service* (:mod:`repro.store.service`) adds three shapes of
+its own, mapped onto HTTP status codes by the serve layer:
+
+* :class:`InputValidationError` -- untrusted user input (an uploaded
+  netlist, a request parameter) was rejected by a fail-fast validator
+  (HTTP 400, not retryable);
+* :class:`ServiceOverloaded` -- the bounded job queue refused admission
+  or the service is draining (HTTP 503 + ``Retry-After``, retryable);
+* :class:`DeadlineExceeded` -- a request's deadline expired before its
+  compute job finished (HTTP 504, retryable: the abandoned job may
+  still land in the store).
+
+:func:`is_retryable` classifies any exception for job-level retry loops
+and for the ``retryable`` flag of structured JSON error bodies.
+
 The validators run *before* any process pool, golden-trace simulation or
 batch precomputation, so a bad netlist, stimulus or config is rejected in
 milliseconds instead of surfacing as a deep-stack numpy error minutes
@@ -48,6 +63,48 @@ class CheckpointMismatch(CampaignError):
 class IntegrityError(CampaignError):
     """A result failed an integrity check and cannot be quarantined away
     (strict mode, or a poisoned fault-free baseline)."""
+
+
+class InputValidationError(CampaignError):
+    """Untrusted user input (an uploaded netlist, a request parameter)
+    was rejected by a fail-fast validator.  Served as HTTP 400."""
+
+
+class ServiceOverloaded(CampaignError):
+    """The campaign service refused new work: the bounded job queue is
+    at depth, or the service is draining.  Served as HTTP 503 with a
+    ``Retry-After`` hint (:attr:`retry_after`, seconds)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(CampaignError, TimeoutError):
+    """A request's deadline expired before its compute job finished.
+    Served as HTTP 504; the abandoned job is quarantined and may still
+    publish to the store, so the request is worth retrying later."""
+
+
+#: exception classes a job-level retry can plausibly outwait
+_RETRYABLE = (WorkerCrash, ChunkTimeout, ServiceOverloaded, DeadlineExceeded)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when retrying the failed operation can plausibly succeed.
+
+    Worker crashes and chunk timeouts are transient (the next attempt
+    resumes from checkpoint journals); overload and deadline expiries
+    clear as load drains.  Validation and integrity failures are
+    deterministic -- retrying replays the same rejection.
+    """
+    if isinstance(exc, (InputValidationError, IntegrityError, CheckpointMismatch)):
+        return False
+    if isinstance(exc, _RETRYABLE):
+        return True
+    # store lock contention (repro.store.artifacts.StoreLockError) is
+    # transient too, but the store layer sits above core -- duck-type it.
+    return type(exc).__name__ == "StoreLockError"
 
 
 # ------------------------------------------------------------- validators
@@ -126,3 +183,51 @@ def validate_config(config: Any) -> None:
                 "chaos hang injection needs a per-chunk timeout "
                 "(a hung worker would otherwise stall the campaign forever)"
             )
+
+
+# ------------------------------------------------- untrusted-upload guards
+#: default size cap for user-uploaded netlist text (1 MiB)
+UPLOAD_MAX_BYTES = 1 << 20
+
+
+def validate_upload_text(text: Any, max_bytes: int = UPLOAD_MAX_BYTES) -> None:
+    """Reject upload payloads before any parsing work.
+
+    Raises :class:`InputValidationError` for non-text, empty or
+    oversized uploads, so a worker never tokenizes gigabytes of junk.
+    """
+    if not isinstance(text, str):
+        raise InputValidationError(
+            f"upload must be text, got {type(text).__name__}"
+        )
+    if not text.strip():
+        raise InputValidationError("upload is empty")
+    size = len(text.encode("utf-8", errors="replace"))
+    if size > max_bytes:
+        raise InputValidationError(
+            f"upload is {size} bytes; the limit is {max_bytes}"
+        )
+
+
+def validate_upload_netlist(netlist: Any) -> None:
+    """Full structural + acyclicity validation of an untrusted netlist.
+
+    Runs the structural invariants (:meth:`Netlist.validate` plus the
+    campaign-level :func:`validate_netlist` checks) and a topological
+    levelization, so a combinational loop -- which would otherwise
+    surface as a deep-stack error (or an endless event-simulation) far
+    into a campaign -- is rejected here, typed, in milliseconds.
+
+    Raises:
+        InputValidationError: naming the first violation found.
+    """
+    from ..logic.levelize import levelize  # deferred: netlist -> core -> logic
+
+    try:
+        netlist.validate()
+        validate_netlist(netlist)
+        levelize(netlist)  # raises on combinational loops
+    except InputValidationError:
+        raise
+    except (CampaignError, ValueError) as exc:  # NetlistError is a ValueError
+        raise InputValidationError(f"invalid netlist upload: {exc}") from exc

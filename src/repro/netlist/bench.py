@@ -123,3 +123,29 @@ def parse_bench(text: str, name: str = "bench") -> Netlist:
         netlist.mark_output(netlist.net_id(n))
     netlist.validate()
     return netlist
+
+
+def parse_bench_upload(text: str, name: str = "upload", max_bytes: int | None = None) -> Netlist:
+    """Fail-fast frontend for *untrusted* .bench uploads.
+
+    Bounds the payload size before tokenizing, parses, and then runs the
+    full structural + acyclicity validation, so a malformed or
+    combinationally cyclic upload is rejected in milliseconds with a
+    typed :class:`~repro.core.errors.InputValidationError` -- it can
+    never wedge a compute worker or surface as a deep-stack error
+    mid-campaign.  The serve layer maps the error to HTTP 400.
+    """
+    from ..core.errors import (
+        UPLOAD_MAX_BYTES,
+        InputValidationError,
+        validate_upload_netlist,
+        validate_upload_text,
+    )
+
+    validate_upload_text(text, max_bytes if max_bytes is not None else UPLOAD_MAX_BYTES)
+    try:
+        netlist = parse_bench(text, name=name)
+    except NetlistError as exc:
+        raise InputValidationError(f"bad .bench upload: {exc}") from exc
+    validate_upload_netlist(netlist)
+    return netlist

@@ -168,6 +168,8 @@ def parse_verilog(text: str) -> Netlist:
             p.expect("(")
             args = p.name_list_until(")")
             p.expect(";")
+            if not args:
+                raise NetlistError(f"primitive instance {inst!r} has no connections")
             netlist.add_gate(gtype, net(args[0]), [net(a) for a in args[1:]], name=inst)
             continue
         if tok in _CELL_BY_NAME:
@@ -201,4 +203,29 @@ def parse_verilog(text: str) -> Netlist:
     for n in pending_outputs:
         netlist.mark_output(netlist.net_id(n))
     netlist.validate()
+    return netlist
+
+
+def parse_verilog_upload(text: str, max_bytes: int | None = None) -> Netlist:
+    """Fail-fast frontend for *untrusted* structural-Verilog uploads.
+
+    Same contract as :func:`repro.netlist.bench.parse_bench_upload`:
+    size cap before tokenizing, parse, then full structural +
+    acyclicity validation -- every failure mode is a typed
+    :class:`~repro.core.errors.InputValidationError` (HTTP 400 at the
+    serve layer), never an arbitrary exception or a wedged worker.
+    """
+    from ..core.errors import (
+        UPLOAD_MAX_BYTES,
+        InputValidationError,
+        validate_upload_netlist,
+        validate_upload_text,
+    )
+
+    validate_upload_text(text, max_bytes if max_bytes is not None else UPLOAD_MAX_BYTES)
+    try:
+        netlist = parse_verilog(text)
+    except NetlistError as exc:
+        raise InputValidationError(f"bad Verilog upload: {exc}") from exc
+    validate_upload_netlist(netlist)
     return netlist

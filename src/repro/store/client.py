@@ -1,0 +1,168 @@
+"""Retrying HTTP client for the campaign service (stdlib ``urllib``).
+
+The seed of the ROADMAP's remote-store client: several serve nodes
+sharing one cache need a client that treats the service's failure
+vocabulary as a protocol, not as exceptions to crash on.
+
+* every request carries a **connect/read timeout**;
+* transient failures -- connection refused/reset, request timeouts,
+  and any response whose structured body says ``"retryable": true``
+  (503 overload, 504 deadline, 5xx) -- are retried with **exponential
+  backoff plus deterministic-injectable jitter**;
+* a 503's **``Retry-After``** header is honored (capped) instead of the
+  computed backoff, so a draining or saturated server paces its own
+  retry traffic;
+* terminal failures raise :class:`RemoteStoreError` carrying the HTTP
+  status and the parsed structured body.
+
+``sleep`` and ``rand`` are injectable so tests drive the retry schedule
+without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable
+
+from ..core.errors import CampaignError
+
+DEFAULT_TIMEOUT_S = 10.0
+DEFAULT_MAX_RETRIES = 4
+DEFAULT_BACKOFF_S = 0.25
+DEFAULT_BACKOFF_CAP_S = 8.0
+DEFAULT_JITTER = 0.25
+DEFAULT_RETRY_AFTER_CAP_S = 30.0
+
+
+class RemoteStoreError(CampaignError):
+    """A service request failed past all retries (or terminally)."""
+
+    def __init__(self, message: str, status: int | None = None, payload: Any = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class StoreClient:
+    """Minimal retrying JSON client for one serve node."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT_S,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = DEFAULT_BACKOFF_S,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP_S,
+        jitter: float = DEFAULT_JITTER,
+        retry_after_cap: float = DEFAULT_RETRY_AFTER_CAP_S,
+        sleep: Callable[[float], None] = time.sleep,
+        rand: Callable[[], float] = random.random,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.retry_after_cap = retry_after_cap
+        self._sleep = sleep
+        self._rand = rand
+        self.attempts = 0  # lifetime request attempts, for tests/telemetry
+
+    # ------------------------------------------------------------ plumbing
+    def _delay(self, attempt: int, retry_after: str | None) -> float:
+        if retry_after is not None:
+            try:
+                return min(float(retry_after), self.retry_after_cap)
+            except ValueError:
+                pass
+        base = min(self.backoff * 2**attempt, self.backoff_cap)
+        return base * (1.0 + self.jitter * self._rand())
+
+    def request(self, path: str, method: str = "GET", body: bytes | None = None,
+                content_type: str = "text/plain") -> Any:
+        """One JSON request with retries; returns the parsed payload."""
+        url = f"{self.base_url}/{path.lstrip('/')}"
+        last_error: str = "unreachable"
+        last_status: int | None = None
+        last_payload: Any = None
+        for attempt in range(self.max_retries + 1):
+            self.attempts += 1
+            req = urllib.request.Request(url, data=body, method=method)
+            if body is not None:
+                req.add_header("Content-Type", content_type)
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    return json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    payload = json.loads(raw)
+                except (ValueError, UnicodeDecodeError):
+                    payload = {"error": "OpaqueError", "message": raw[:200].decode(
+                        "utf-8", errors="replace"), "retryable": exc.code >= 500}
+                last_status, last_payload = exc.code, payload
+                last_error = f"HTTP {exc.code}: {payload.get('message', '')}"
+                retryable = bool(payload.get("retryable", exc.code >= 500))
+                if not retryable or attempt >= self.max_retries:
+                    raise RemoteStoreError(
+                        f"{method} {url} failed: {last_error}",
+                        status=exc.code,
+                        payload=payload,
+                    ) from None
+                delay = self._delay(attempt, exc.headers.get("Retry-After"))
+            except (urllib.error.URLError, socket.timeout, ConnectionError, TimeoutError) as exc:
+                reason = getattr(exc, "reason", exc)
+                last_error = f"{type(exc).__name__}: {reason}"
+                if attempt >= self.max_retries:
+                    raise RemoteStoreError(
+                        f"{method} {url} unreachable after "
+                        f"{self.max_retries + 1} attempts: {last_error}"
+                    ) from None
+                delay = self._delay(attempt, None)
+            self._sleep(delay)
+        raise RemoteStoreError(  # pragma: no cover - loop always returns/raises
+            f"{method} {url} failed: {last_error}", status=last_status, payload=last_payload
+        )
+
+    # --------------------------------------------------------- convenience
+    def healthz(self) -> dict:
+        return self.request("healthz")
+
+    def readyz(self) -> dict:
+        return self.request("readyz")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def campaigns(self) -> list[dict]:
+        return self.request("campaigns")
+
+    def campaign(self, design: str, threshold: float | None = None,
+                 verdict: str | None = None) -> dict:
+        return self.request(f"campaigns/{design}{_query(threshold, verdict)}")
+
+    def faults(self, design: str, threshold: float | None = None,
+               verdict: str | None = None) -> list[dict]:
+        return self.request(f"campaigns/{design}/faults{_query(threshold, verdict)}")
+
+    def validate_design(self, text: str, fmt: str = "bench") -> dict:
+        return self.request(
+            f"designs/validate?format={fmt}",
+            method="POST",
+            body=text.encode("utf-8"),
+        )
+
+
+def _query(threshold: float | None, verdict: str | None) -> str:
+    params = []
+    if threshold is not None:
+        params.append(f"threshold={threshold}")
+    if verdict is not None:
+        params.append(f"verdict={verdict}")
+    return "?" + "&".join(params) if params else ""

@@ -1,122 +1,169 @@
-"""``repro-faults serve``: a stdlib-only HTTP view of the campaign store.
+"""``repro-faults serve``: a stdlib-only HTTP front end over the
+campaign service core.
 
-A :class:`ThreadingHTTPServer` exposes cached campaign results and store
-statistics as JSON.  Requests for a campaign that is not cached yet are
-computed on the fly through an injected ``compute`` callable (the CLI
-wires in the real cache-aware pipeline; tests inject a stub), published
-to the store, and then served -- so the first request pays the
-simulation cost and every later one is an index scan plus one
-integrity-verified blob read.
+A :class:`ThreadingHTTPServer` exposes cached campaign results, store
+statistics and compute-on-miss through
+:class:`repro.store.service.CampaignService` -- per-fingerprint request
+coalescing, bounded admission, per-request deadlines, job-level retries
+and graceful drain all live there; this module only parses requests and
+renders structured JSON.
 
 Endpoints::
 
-    GET /healthz                       liveness probe
-    GET /stats                         artifact-store statistics
-    GET /campaigns                     summaries of every cached campaign
-    GET /campaigns/<design>            newest cached report for a design
-        ?threshold=0.05                select/compute at a threshold
-        ?verdict=SFR                   filter the per-fault rows
-    GET /campaigns/<design>/faults     just the fault rows (same filters)
+    GET  /healthz                       liveness probe
+    GET  /readyz                        readiness: store reachable, queue
+                                        not saturated, not draining
+    GET  /stats                         store + service statistics
+    GET  /campaigns                     summaries of every cached campaign
+    GET  /campaigns/<design>            newest cached report for a design
+         ?threshold=0.05                select/compute at a threshold
+         ?verdict=SFR                   filter the per-fault rows
+    GET  /campaigns/<design>/faults     just the fault rows (same filters)
+    POST /designs/validate              fail-fast validation of an uploaded
+         ?format=bench|verilog          netlist (never reaches a worker)
 
-Computation is serialized by a process-wide lock: the store is
-single-writer, and stampeding identical simulations would only burn
-cores to produce the same content-addressed blob.
+Every error is a structured JSON body ``{"error": <class>, "message":
+..., "retryable": ...}`` with a faithful status code: 400 for bad input,
+404 for unknown resources, 503 (+ ``Retry-After``) for overload/drain,
+504 for expired deadlines, 500 for everything else -- never a raw
+traceback, never a wedged connection.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable
+from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from ..core.errors import (
+    CampaignError,
+    ChunkTimeout,
+    DeadlineExceeded,
+    InputValidationError,
+    ServiceOverloaded,
+    is_retryable,
+)
 from .cache import CampaignStore
 from .query import QUERY_VERDICTS, _fault_rows, query_campaigns, query_json
+from .service import (
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_THRESHOLD,
+    DEFAULT_WORKERS,
+    CampaignService,
+    ComputeFn,
+)
 
 logger = logging.getLogger(__name__)
 
-#: compute-on-miss hook: (design, threshold) -> report dict (already published)
-ComputeFn = Callable[[str, float], dict]
+__all__ = [
+    "ComputeFn",
+    "DEFAULT_THRESHOLD",
+    "StoreHTTPServer",
+    "error_body",
+    "http_status",
+    "make_server",
+    "serve_forever",
+]
 
-DEFAULT_THRESHOLD = 0.05
+
+def http_status(exc: BaseException) -> int:
+    """Map the failure taxonomy onto HTTP status codes."""
+    if isinstance(exc, InputValidationError):
+        return 400
+    if isinstance(exc, ServiceOverloaded):
+        return 503
+    if isinstance(exc, (DeadlineExceeded, ChunkTimeout)):
+        return 504
+    return 500
 
 
-class StoreService:
-    """Request-independent state shared by every handler thread."""
+def error_body(exc: BaseException) -> dict:
+    """Structured JSON error body for any exception."""
+    return {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "retryable": is_retryable(exc),
+    }
 
-    def __init__(
-        self,
-        store: CampaignStore,
-        compute: ComputeFn | None = None,
-        designs: tuple[str, ...] = (),
-    ):
-        self.store = store
-        self.compute = compute
-        self.designs = designs
-        self._compute_lock = threading.Lock()
-        self.requests = 0
-        self.served_cached = 0
-        self.computed = 0
 
-    # ----------------------------------------------------------------- logic
-    def stats(self) -> dict:
-        return {
-            "store": self.store.artifacts.stats(),
-            "requests": self.requests,
-            "served_cached": self.served_cached,
-            "computed": self.computed,
-        }
+class StoreHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning a :class:`CampaignService`."""
 
-    def campaign(self, design: str, threshold: float | None) -> dict | None:
-        """Newest cached report for a design, computing on miss."""
-        matches = query_campaigns(self.store, design=design, threshold=threshold)
-        if matches:
-            self.served_cached += 1
-            return max(matches, key=lambda m: m.created_at).report
-        if self.compute is None:
-            return None
-        with self._compute_lock:
-            # Double-check under the lock: a sibling request may have
-            # just computed and published the same campaign.
-            matches = query_campaigns(self.store, design=design, threshold=threshold)
-            if matches:
-                self.served_cached += 1
-                return max(matches, key=lambda m: m.created_at).report
-            report = self.compute(design, threshold if threshold is not None else DEFAULT_THRESHOLD)
-        self.computed += 1
-        return report
+    daemon_threads = True
+    service: CampaignService
+
+    def server_close(self) -> None:  # stop the worker pool with the socket
+        try:
+            # socketserver calls server_close() from __init__ when the bind
+            # fails, before make_server has attached the service.
+            service = getattr(self, "service", None)
+            if service is not None:
+                service.stop()
+        finally:
+            super().server_close()
 
 
 class _Handler(BaseHTTPRequestHandler):
-    service: StoreService  # injected by make_server
+    service: CampaignService  # injected by make_server
 
     # ------------------------------------------------------------- plumbing
     def log_message(self, fmt: str, *args) -> None:  # quiet by default
         logger.debug("serve: " + fmt, *args)
 
-    def _send(self, status: int, payload: Any) -> None:
+    def _send(self, status: int, payload: Any, headers: dict[str, str] | None = None) -> None:
         body = json.dumps(payload, indent=2, allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _error(
+        self,
+        status: int,
+        error: str,
+        message: str,
+        retryable: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(round(retry_after))))
+        self._send(
+            status,
+            {"error": error, "message": message, "retryable": retryable},
+            headers=headers,
+        )
+
+    def _error_exc(self, exc: BaseException) -> None:
+        self._send_error_payload(http_status(exc), exc)
+
+    def _send_error_payload(self, status: int, exc: BaseException) -> None:
+        retry_after = getattr(exc, "retry_after", None)
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(round(retry_after))))
+        self._send(status, error_body(exc), headers=headers)
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         svc = self.service
-        svc.requests += 1
+        svc.count_request()
         url = urlsplit(self.path)
         params = {k: v[-1] for k, v in parse_qs(url.query).items()}
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["healthz"]:
                 self._send(200, {"ok": True})
+            elif parts == ["readyz"]:
+                ok, detail = svc.ready()
+                self._send(200 if ok else 503, detail)
             elif parts == ["stats"]:
                 self._send(200, svc.stats())
             elif parts == ["campaigns"]:
@@ -124,48 +171,124 @@ class _Handler(BaseHTTPRequestHandler):
             elif len(parts) in (2, 3) and parts[0] == "campaigns":
                 self._campaign(parts, params)
             else:
-                self._error(404, f"no such endpoint: {url.path}")
+                self._error(404, "NotFound", f"no such endpoint: {url.path}")
+        except CampaignError as exc:
+            self._error_exc(exc)
+        except BrokenPipeError:  # client went away mid-response
+            pass
         except Exception as exc:  # surface as JSON, keep the server alive
             logger.exception("serve: request %s failed", self.path)
-            self._error(500, f"{type(exc).__name__}: {exc}")
+            self._send_error_payload(500, exc)
 
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        svc = self.service
+        svc.count_request()
+        url = urlsplit(self.path)
+        params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["designs", "validate"]:
+                self._validate_upload(params)
+            else:
+                self._error(404, "NotFound", f"no such endpoint: {url.path}")
+        except CampaignError as exc:
+            self._error_exc(exc)
+        except BrokenPipeError:
+            pass
+        except Exception as exc:
+            logger.exception("serve: request %s failed", self.path)
+            self._send_error_payload(500, exc)
+
+    # ------------------------------------------------------------ handlers
     def _campaign(self, parts: list[str], params: dict[str, str]) -> None:
         svc = self.service
         design = parts[1]
         if svc.designs and design not in svc.designs:
-            self._error(404, f"unknown design {design!r}; choose from {list(svc.designs)}")
+            self._error(
+                404,
+                "UnknownDesign",
+                f"unknown design {design!r}; choose from {list(svc.designs)}",
+            )
             return
         threshold: float | None = None
         if "threshold" in params:
             try:
                 threshold = float(params["threshold"])
             except ValueError:
-                self._error(400, f"bad threshold {params['threshold']!r}")
+                self._error(
+                    400,
+                    "InputValidationError",
+                    f"bad threshold {params['threshold']!r}: expected a number",
+                )
                 return
             if not 0 < threshold < 1:
-                self._error(400, "threshold must be a fraction in (0, 1)")
+                self._error(
+                    400,
+                    "InputValidationError",
+                    f"threshold must be a fraction in (0, 1), got {threshold}",
+                )
                 return
         verdict = params.get("verdict")
         if verdict is not None and verdict not in QUERY_VERDICTS:
-            self._error(400, f"verdict must be one of {list(QUERY_VERDICTS)}")
+            self._error(
+                400,
+                "InputValidationError",
+                f"bad verdict {verdict!r}: must be one of {list(QUERY_VERDICTS)}",
+            )
             return
         report = svc.campaign(design, threshold)
         if report is None:
             self._error(
                 404,
+                "NotCached",
                 f"no cached campaign for {design!r} and computation is "
                 f"disabled on this server",
             )
             return
         if len(parts) == 3:
             if parts[2] != "faults":
-                self._error(404, f"no such campaign view: {parts[2]!r}")
+                self._error(404, "NotFound", f"no such campaign view: {parts[2]!r}")
                 return
             self._send(200, _fault_rows(report, verdict))
             return
         if verdict is not None:
             report = dict(report, matched_faults=_fault_rows(report, verdict))
         self._send(200, report)
+
+    def _validate_upload(self, params: dict[str, str]) -> None:
+        from ..core.errors import UPLOAD_MAX_BYTES
+        from ..netlist.bench import parse_bench_upload
+        from ..netlist.verilog import parse_verilog_upload
+        from .fingerprint import netlist_fingerprint
+
+        fmt = params.get("format", "bench")
+        if fmt not in ("bench", "verilog"):
+            raise InputValidationError(
+                f"bad format {fmt!r}: must be 'bench' or 'verilog'"
+            )
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise InputValidationError("bad Content-Length header") from None
+        if length <= 0:
+            raise InputValidationError("upload is empty")
+        if length > UPLOAD_MAX_BYTES:
+            raise InputValidationError(
+                f"upload is {length} bytes; the limit is {UPLOAD_MAX_BYTES}"
+            )
+        text = self.rfile.read(length).decode("utf-8", errors="replace")
+        parse = parse_bench_upload if fmt == "bench" else parse_verilog_upload
+        netlist = parse(text)  # raises InputValidationError, mapped to 400
+        self._send(
+            200,
+            {
+                "ok": True,
+                "format": fmt,
+                "design": netlist.name,
+                "fingerprint": netlist_fingerprint(netlist),
+                "stats": netlist.stats(),
+            },
+        )
 
 
 def make_server(
@@ -174,20 +297,53 @@ def make_server(
     store: CampaignStore,
     compute: ComputeFn | None = None,
     designs: tuple[str, ...] = (),
-) -> ThreadingHTTPServer:
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    workers: int = DEFAULT_WORKERS,
+    request_timeout: float | None = None,
+    service: CampaignService | None = None,
+) -> StoreHTTPServer:
     """Build (but do not start) the threaded store server."""
-    service = StoreService(store, compute=compute, designs=designs)
+    if service is None:
+        service = CampaignService(
+            store,
+            compute=compute,
+            designs=designs,
+            queue_depth=queue_depth,
+            workers=workers,
+            request_timeout=request_timeout,
+        )
     handler = type("BoundHandler", (_Handler,), {"service": service})
-    server = ThreadingHTTPServer((host, port), handler)
-    server.daemon_threads = True
+    server = StoreHTTPServer((host, port), handler)
+    server.service = service
+    service.start()
     return server
 
 
-def serve_forever(server: ThreadingHTTPServer) -> None:
-    """Run until interrupted; ^C shuts down cleanly."""
+def serve_forever(server: ThreadingHTTPServer, drain_grace: float = 30.0) -> None:
+    """Run until interrupted; SIGTERM and ^C drain gracefully.
+
+    On SIGTERM the service stops admitting compute jobs, in-flight jobs
+    finish (their checkpoint journals persist either way), and only then
+    does the listener shut down.
+    """
+    service = getattr(server, "service", None)
+
+    def _drain_and_stop(signum, frame):  # pragma: no cover - signal path
+        logger.info("serve: SIGTERM received; draining")
+        if service is not None:
+            service.drain(grace=drain_grace)
+        # shutdown() blocks until serve_forever exits, and signal handlers
+        # run on the main thread -- hop threads to avoid self-deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+    except ValueError:  # not on the main thread (tests): skip the handler
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
-        pass
+        if service is not None:
+            service.drain(grace=drain_grace)
     finally:
         server.server_close()

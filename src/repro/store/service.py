@@ -1,0 +1,429 @@
+"""Crash-tolerant campaign service core behind ``repro-faults serve``.
+
+PR 4's server computed misses under one process-wide lock: correct, but
+a stampede of distinct designs serialized behind a single compute, a
+hung compute wedged every client forever, and overload was unbounded
+thread pileup.  :class:`CampaignService` replaces the lock with a real
+service core, transport-agnostic so protocol front ends
+(:mod:`repro.store.server` today, others later) stay thin:
+
+* **request coalescing** -- concurrent requests for the same
+  ``(design, threshold)`` fingerprint attach to one in-flight
+  :class:`Job`; one simulation runs, every waiter gets its report.
+  Cached reads never touch the job machinery, so warm traffic for other
+  designs is never blocked by a compute;
+* **bounded admission** -- at most ``queue_depth`` distinct jobs may be
+  queued or running; excess submissions raise
+  :class:`~repro.core.errors.ServiceOverloaded` (HTTP 503 +
+  ``Retry-After``) instead of piling up threads;
+* **per-request deadlines** -- with ``request_timeout`` set, a compute
+  that outlives its deadline is *abandoned*: the waiters get
+  :class:`~repro.core.errors.DeadlineExceeded` (HTTP 504), the job
+  moves to a quarantine map (repeat requests fail fast instead of
+  re-wedging), and the worker slot is reclaimed because each attempt
+  runs on a disposable thread.  If the stray attempt eventually
+  finishes, it resolves the quarantine -- its result was published to
+  the content-addressed store, so the next request is a cache hit;
+* **job-level retries** -- a compute attempt that dies with a retryable
+  failure (:func:`repro.core.errors.is_retryable`: worker crashes,
+  chunk timeouts, store lock contention) is retried with exponential
+  backoff.  The CLI's compute hook journals through the existing
+  ``ParallelExecutor`` + checkpoint machinery, so a retry *resumes*
+  the campaign bit-identically instead of restarting it;
+* **graceful drain** -- :meth:`drain` refuses new compute jobs
+  (cached reads still serve) and waits for in-flight jobs to finish,
+  the SIGTERM path of ``repro-faults serve``.
+
+Everything is stdlib threading; counters feed ``/stats`` and the
+``/readyz`` readiness probe.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.errors import (
+    DeadlineExceeded,
+    ServiceOverloaded,
+    is_retryable,
+)
+from .cache import CampaignStore
+from .fingerprint import digest
+from .query import query_campaigns
+
+logger = logging.getLogger(__name__)
+
+#: compute-on-miss hook: (design, threshold) -> report dict (already published)
+ComputeFn = Callable[[str, float], dict]
+
+DEFAULT_THRESHOLD = 0.05
+DEFAULT_QUEUE_DEPTH = 8
+DEFAULT_WORKERS = 2
+DEFAULT_MAX_RETRIES = 2
+RETRY_BACKOFF_S = 0.05
+
+
+def job_key(design: str, threshold: float) -> str:
+    """Coalescing fingerprint of one compute job."""
+    return digest({"job": "campaign", "design": design, "threshold": threshold})
+
+
+@dataclass
+class Job:
+    """One admitted compute job and everything waiting on it."""
+
+    key: str
+    design: str
+    threshold: float
+    done: threading.Event = field(default_factory=threading.Event)
+    report: dict | None = None
+    error: BaseException | None = None
+    attempts: int = 0
+    waiters: int = 0
+    #: deadline expired; the attempt thread may still be running detached
+    abandoned: bool = False
+
+    def resolve(self, report: dict | None = None, error: BaseException | None = None) -> None:
+        self.report = report
+        self.error = error
+        self.done.set()
+
+
+class CampaignService:
+    """Transport-agnostic campaign-compute service over a store.
+
+    Thread-safe; one instance is shared by every protocol handler
+    thread.  ``compute`` is the injected miss hook
+    ``(design, threshold) -> report`` (the CLI wires the real
+    cache-aware pipeline; tests inject stubs and chaos wrappers).
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        compute: ComputeFn | None = None,
+        designs: tuple[str, ...] = (),
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        workers: int = DEFAULT_WORKERS,
+        request_timeout: float | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = RETRY_BACKOFF_S,
+        default_threshold: float = DEFAULT_THRESHOLD,
+    ):
+        self.store = store
+        self.compute = compute
+        self.designs = designs
+        self.queue_depth = queue_depth
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.default_threshold = default_threshold
+
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}  # admitted: queued or running
+        self._quarantine: dict[str, Job] = {}  # abandoned after deadline expiry
+        self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._draining = False
+        self._stopped = False
+
+        # ---- counters surfaced by /stats
+        self.requests = 0
+        self.served_cached = 0
+        self.computed = 0
+        self.coalesced = 0
+        self.retries = 0
+        self.deadline_expired = 0
+        self.rejected_overload = 0
+        self.compute_errors = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "CampaignService":
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._threads or self._stopped:
+                return self
+            for i in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"svc-worker-{i}", daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker pool without waiting for queued jobs."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for t in threads:
+            t.join(timeout=1.0)
+
+    def drain(self, grace: float = 30.0) -> bool:
+        """Refuse new compute work and wait for in-flight jobs.
+
+        Cached reads keep serving while the transport stays up.  Returns
+        True when every admitted job finished within ``grace`` seconds.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            with self._lock:
+                pending = list(self._jobs.values())
+            if not pending:
+                logger.info("service drain complete")
+                return True
+            for job in pending:
+                job.done.wait(timeout=max(0.0, deadline - time.monotonic()))
+        with self._lock:
+            leftover = len(self._jobs)
+        if leftover:
+            logger.warning("service drain timed out with %d job(s) in flight", leftover)
+        return leftover == 0
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # ------------------------------------------------------------- probes
+    def ready(self) -> tuple[bool, dict]:
+        """Readiness: store reachable, not draining, queue not saturated."""
+        detail: dict = {"draining": False, "queue_saturated": False, "store": True}
+        ok = True
+        with self._lock:
+            if self._draining or self._stopped:
+                detail["draining"] = True
+                ok = False
+            if len(self._jobs) >= self.queue_depth:
+                detail["queue_saturated"] = True
+                ok = False
+        try:
+            self.store.artifacts.stats()
+        except Exception as exc:  # unreadable index/lock dir -> not ready
+            detail["store"] = False
+            detail["store_error"] = f"{type(exc).__name__}: {exc}"
+            ok = False
+        detail["ready"] = ok
+        return ok, detail
+
+    def stats(self) -> dict:
+        with self._lock:
+            service = {
+                "queue_depth": self.queue_depth,
+                "workers": self.workers,
+                "request_timeout": self.request_timeout,
+                "in_flight": len(self._jobs),
+                "coalesced": self.coalesced,
+                "retries": self.retries,
+                "deadline_expired": self.deadline_expired,
+                "rejected_overload": self.rejected_overload,
+                "compute_errors": self.compute_errors,
+                "draining": self._draining,
+                "quarantined": sorted(
+                    f"{j.design}@{j.threshold}" for j in self._quarantine.values()
+                ),
+            }
+            top = {
+                "requests": self.requests,
+                "served_cached": self.served_cached,
+                "computed": self.computed,
+            }
+        return {"store": self.store.artifacts.stats(), **top, "service": service}
+
+    # ------------------------------------------------------------ requests
+    def count_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def campaign(self, design: str, threshold: float | None) -> dict | None:
+        """Newest cached report for a design, computing (at most once per
+        distinct fingerprint) on miss.
+
+        Returns None when computation is disabled and nothing is cached.
+        Raises :class:`ServiceOverloaded`, :class:`DeadlineExceeded`, or
+        whatever terminal error the compute job died with.
+        """
+        matches = query_campaigns(self.store, design=design, threshold=threshold)
+        if matches:
+            with self._lock:
+                self.served_cached += 1
+            return max(matches, key=lambda m: m.created_at).report
+        if self.compute is None:
+            return None
+        effective = threshold if threshold is not None else self.default_threshold
+        job = self._admit(design, effective)
+        return self._await(job)
+
+    def _admit(self, design: str, threshold: float) -> Job:
+        key = job_key(design, threshold)
+        with self._lock:
+            if self._draining or self._stopped:
+                raise ServiceOverloaded(
+                    "service is draining and accepts no new compute jobs",
+                    retry_after=5.0,
+                )
+            stale = self._quarantine.get(key)
+            if stale is not None:
+                # fail fast instead of stacking a second compute behind a
+                # wedged one; the stray attempt clears this when it ends.
+                self.deadline_expired += 1
+                raise DeadlineExceeded(
+                    f"campaign {design!r} @ threshold {threshold} is quarantined "
+                    f"after a deadline expiry; retry once the job clears"
+                )
+            job = self._jobs.get(key)
+            if job is not None:
+                job.waiters += 1
+                self.coalesced += 1
+                return job
+            if len(self._jobs) >= self.queue_depth:
+                self.rejected_overload += 1
+                raise ServiceOverloaded(
+                    f"compute queue is full ({self.queue_depth} jobs admitted)",
+                    retry_after=max(1.0, self.request_timeout or 1.0),
+                )
+            job = Job(key=key, design=design, threshold=threshold, waiters=1)
+            self._jobs[key] = job
+        self._queue.put(job)
+        self.start()
+        return job
+
+    def _await(self, job: Job) -> dict:
+        finished = job.done.wait(
+            timeout=None if self.request_timeout is None else self.request_timeout
+        )
+        if not finished:
+            # Waiter-side deadline: the job may still be queued (not hung);
+            # if nobody is left waiting and it never started, cancel it.
+            with self._lock:
+                job.waiters -= 1
+                self.deadline_expired += 1
+                if job.waiters <= 0 and job.attempts == 0:
+                    job.abandoned = True
+                    self._jobs.pop(job.key, None)
+            raise DeadlineExceeded(
+                f"request deadline ({self.request_timeout}s) expired before the "
+                f"compute job for {job.design!r} finished"
+            )
+        if job.error is not None:
+            raise job.error
+        assert job.report is not None
+        return job.report
+
+    # ------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job.abandoned:  # every waiter gave up before we started
+                continue
+            try:
+                self._run_job(job)
+            except Exception:  # pragma: no cover - defensive: keep the pool alive
+                logger.exception("service: job %s crashed the worker loop", job.key)
+                self._finish(job, error=job.error or RuntimeError("worker loop error"))
+
+    def _run_job(self, job: Job) -> None:
+        deadline = (
+            None
+            if self.request_timeout is None
+            else time.monotonic() + self.request_timeout
+        )
+        while True:
+            job.attempts += 1
+            attempt_done = threading.Event()
+            holder: dict = {}
+            thread = threading.Thread(
+                target=self._attempt,
+                args=(job, holder, attempt_done),
+                name=f"svc-compute-{job.design}",
+                daemon=True,
+            )
+            thread.start()
+            budget = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not attempt_done.wait(timeout=budget):
+                self._abandon(job)
+                return
+            error = holder.get("error")
+            if error is None:
+                self._finish(job, report=holder.get("report"))
+                return
+            out_of_time = deadline is not None and time.monotonic() >= deadline
+            if is_retryable(error) and job.attempts <= self.max_retries and not out_of_time:
+                with self._lock:
+                    self.retries += 1
+                logger.warning(
+                    "service: compute %s attempt %d failed (%s: %s); retrying",
+                    job.design,
+                    job.attempts,
+                    type(error).__name__,
+                    error,
+                )
+                time.sleep(self.retry_backoff * 2 ** (job.attempts - 1))
+                continue
+            self._finish(job, error=error)
+            return
+
+    def _attempt(self, job: Job, holder: dict, attempt_done: threading.Event) -> None:
+        try:
+            assert self.compute is not None
+            holder["report"] = self.compute(job.design, job.threshold)
+        except BaseException as exc:  # noqa: BLE001 - ferried to the waiters
+            holder["error"] = exc
+        finally:
+            attempt_done.set()
+            with self._lock:
+                stray = job.abandoned and self._quarantine.get(job.key) is job
+                if stray:
+                    # The wedged attempt finally ended.  Its result (if any)
+                    # was published to the store by the compute hook, so the
+                    # next request is a plain cache hit; either way the
+                    # fingerprint is computable again.
+                    del self._quarantine[job.key]
+            if stray:
+                logger.info(
+                    "service: abandoned compute for %s finished (%s)",
+                    job.design,
+                    "error" if "error" in holder else "published",
+                )
+
+    def _finish(self, job: Job, report: dict | None = None, error: BaseException | None = None) -> None:
+        with self._lock:
+            self._jobs.pop(job.key, None)
+            if error is None:
+                self.computed += 1
+            else:
+                self.compute_errors += 1
+        job.resolve(report=report, error=error)
+
+    def _abandon(self, job: Job) -> None:
+        """Deadline expired mid-compute: quarantine and reclaim the slot."""
+        with self._lock:
+            job.abandoned = True
+            self._jobs.pop(job.key, None)
+            self._quarantine[job.key] = job
+            self.deadline_expired += 1
+        logger.warning(
+            "service: compute for %s exceeded the %ss deadline; job quarantined",
+            job.design,
+            self.request_timeout,
+        )
+        job.resolve(
+            error=DeadlineExceeded(
+                f"compute for {job.design!r} exceeded the "
+                f"{self.request_timeout}s request deadline"
+            )
+        )

@@ -263,3 +263,105 @@ class ChaosEngine:
         lines[pick] = line
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
         return True
+
+
+# --------------------------------------------------------------- service
+class ServiceChaos:
+    """Injectable compute-hook faults for the campaign *service* layer.
+
+    :class:`ChaosEngine` above exercises the in-campaign recovery
+    machinery (pool rebuilds, audits, journal CRCs).  This class
+    exercises the layer on top -- :class:`repro.store.service.
+    CampaignService` -- by wrapping the ``(design, threshold) ->
+    report`` compute hook the service calls on a cache miss:
+
+    * **crash** -- the first ``crash_attempts`` compute attempts for a
+      listed design raise :class:`~repro.core.errors.WorkerCrash`
+      (retryable: the service's job-level retry must absorb it and,
+      when the hook journals through checkpoints, *resume*);
+    * **hang** -- the first attempt for a listed design sleeps
+      ``hang_seconds`` (far past any sane request deadline), driving
+      the 504/abandon/quarantine path;
+    * **corrupt** -- after a listed design's report is computed and
+      published, one byte of the newest ``report`` blob in the store is
+      damaged, so the next cached read must quarantine-and-recompute
+      instead of serving garbage.
+
+    All decisions are per-design and first-N-attempts only, tracked
+    in-memory under a lock (the service runs its computes in threads of
+    one process, unlike the multi-process campaign chaos above).
+    """
+
+    def __init__(
+        self,
+        crash: tuple[str, ...] = (),
+        hang: tuple[str, ...] = (),
+        corrupt: tuple[str, ...] = (),
+        crash_attempts: int = 1,
+        hang_seconds: float = HANG_SECONDS,
+        store: Any = None,
+    ):
+        import threading
+
+        self.crash = tuple(crash)
+        self.hang = tuple(hang)
+        self.corrupt = tuple(corrupt)
+        self.crash_attempts = crash_attempts
+        self.hang_seconds = hang_seconds
+        self.store = store
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self.crashed = 0
+        self.hung = 0
+        self.corrupted = 0
+
+    def wrap(self, compute: Callable[[str, float], dict]) -> Callable[[str, float], dict]:
+        """Wrap a service compute hook with the configured injections."""
+
+        def chaotic_compute(design: str, threshold: float) -> dict:
+            with self._lock:
+                attempt = self._calls[design] = self._calls.get(design, 0) + 1
+            if design in self.hang and attempt == 1:
+                with self._lock:
+                    self.hung += 1
+                time.sleep(self.hang_seconds)
+            if design in self.crash and attempt <= self.crash_attempts:
+                with self._lock:
+                    self.crashed += 1
+                from ..core.errors import WorkerCrash
+
+                raise WorkerCrash(
+                    f"chaos: compute worker for {design!r} died on attempt {attempt}"
+                )
+            report = compute(design, threshold)
+            if design in self.corrupt and self.store is not None:
+                if self.corrupt_report_blob(self.store, design):
+                    with self._lock:
+                        self.corrupted += 1
+            return report
+
+        return chaotic_compute
+
+    def attempts(self, design: str) -> int:
+        with self._lock:
+            return self._calls.get(design, 0)
+
+    @staticmethod
+    def corrupt_report_blob(store: Any, design: str) -> bool:
+        """Damage one byte of the newest ``report`` blob for a design.
+
+        The blob's bytes then no longer hash to their content address,
+        so the next lookup must detect the corruption, quarantine the
+        artifact and recompute -- never serve the damaged payload.
+        """
+        rows = [r for r in store.artifacts.rows(kind="report", design=design)]
+        if not rows:
+            return False
+        row = max(rows, key=lambda r: r.created_at)
+        path = store.artifacts._blob_path(row.blob_sha)
+        data = bytearray(path.read_bytes())
+        if not data:
+            return False
+        data[len(data) // 2] ^= 0x20
+        path.write_bytes(bytes(data))
+        return True
