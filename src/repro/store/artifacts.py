@@ -18,10 +18,19 @@ Design points:
   after the blob is durable.  A crash mid-publish leaves either nothing
   or an unreferenced blob (cleaned by :meth:`ArtifactStore.gc`), never a
   dangling index row.
-* **Concurrent readers, single writer.**  Reads never lock.  All writes
-  (publish, gc, corruption quarantine) serialize on an advisory
-  ``flock`` over ``store.lock``; a second writer either waits up to
-  ``lock_timeout`` seconds or fails fast with :class:`StoreLockError`.
+* **Concurrent readers, single writer.**  Point reads never lock.  All
+  writes (publish, gc, corruption quarantine) serialize on an advisory
+  exclusive ``flock`` over ``store.lock``; a second writer either waits
+  up to ``lock_timeout`` seconds or fails fast with
+  :class:`StoreLockError`.
+* **Whole-pass maintenance locks.**  :meth:`ArtifactStore.gc` holds the
+  exclusive lock for its *entire* mark-and-sweep pass and
+  :meth:`ArtifactStore.verify` (and the fabric scrub built on it) holds
+  a *shared* flock for its entire scan, so an in-flight publish can
+  never interleave with either: a publish's freshly written blob cannot
+  be swept as an orphan between the blob write and the index insert,
+  and a scrub can never mis-count a half-published artifact as a
+  missing replica.
 """
 
 from __future__ import annotations
@@ -136,11 +145,29 @@ class ArtifactStore:
         os.replace(tmp, final)
         return sha, len(data)
 
+    def ensure_schema(self) -> None:
+        """(Re)create the index schema; heals a deleted/wiped shard DB."""
+        with self._connect() as con:
+            con.executescript(_SCHEMA_SQL)
+
     # ------------------------------------------------------------ write lock
-    def writer(self, timeout: float | None = None) -> "_WriterLock":
-        """Context manager acquiring the store's single-writer lock."""
+    def writer(self, timeout: float | None = None) -> "_FileLock":
+        """Context manager acquiring the store's exclusive writer lock."""
         limit = self.lock_timeout if timeout is None else timeout
-        return _WriterLock(self.root / "store.lock", limit)
+        return _FileLock(self.root / "store.lock", limit, shared=False)
+
+    def reader(self, timeout: float | None = None) -> "_FileLock":
+        """Context manager acquiring a *shared* lock on the store.
+
+        Shared holders (verify/scrub passes) coexist with each other and
+        with lock-free point reads, but exclude writers for the whole
+        pass -- the fix for the gc/verify-vs-publish race: a publish
+        that has written its blob but not yet inserted its index row can
+        never be observed (and its fresh blob never swept) by a
+        maintenance pass that started before it.
+        """
+        limit = self.lock_timeout if timeout is None else timeout
+        return _FileLock(self.root / "store.lock", limit, shared=True)
 
     # --------------------------------------------------------------- publish
     def put(
@@ -287,7 +314,12 @@ class ArtifactStore:
         }
 
     def gc(self) -> dict:
-        """Delete unreferenced blobs; referenced artifacts are never touched."""
+        """Delete unreferenced blobs; referenced artifacts are never touched.
+
+        The exclusive lock is held for the whole mark-and-sweep pass: a
+        concurrent publish waits, so a blob written moments before its
+        index row lands can never be collected as an orphan.
+        """
         removed = freed = 0
         with self.writer():
             with self._connect() as con:
@@ -302,7 +334,17 @@ class ArtifactStore:
         return {"removed_blobs": removed, "freed_bytes": freed}
 
     def verify(self) -> list[dict]:
-        """Integrity-check every indexed artifact; returns found defects."""
+        """Integrity-check every indexed artifact; returns found defects.
+
+        Holds the shared lock for the whole scan: concurrent verifies
+        and point reads proceed, but a publish waits until the pass
+        ends, so a half-published artifact is never flagged.
+        """
+        with self.reader():
+            return self._verify_locked()
+
+    def _verify_locked(self) -> list[dict]:
+        """The verify scan body; caller holds (at least) the shared lock."""
         defects = []
         for row in self.rows():
             path = self._blob_path(row.blob_sha)
@@ -315,29 +357,32 @@ class ArtifactStore:
         return defects
 
 
-class _WriterLock:
-    """Advisory exclusive lock over the store's lock file."""
+class _FileLock:
+    """Advisory flock over the store's lock file (exclusive or shared)."""
 
-    def __init__(self, path: Path, timeout: float):
+    def __init__(self, path: Path, timeout: float, shared: bool = False):
         self.path = path
         self.timeout = timeout
+        self.shared = shared
         self._fd: int | None = None
 
-    def __enter__(self) -> "_WriterLock":
+    def __enter__(self) -> "_FileLock":
         self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             return self
+        mode = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
         deadline = time.monotonic() + max(0.0, self.timeout)
         while True:
             try:
-                fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                fcntl.flock(self._fd, mode | fcntl.LOCK_NB)
                 return self
             except OSError:
                 if time.monotonic() >= deadline:
                     os.close(self._fd)
                     self._fd = None
+                    holder = "writer" if self.shared else "writer or scrubber"
                     raise StoreLockError(
-                        f"another writer holds {self.path} "
+                        f"another {holder} holds {self.path} "
                         f"(waited {self.timeout:.1f}s)"
                     ) from None
                 time.sleep(0.02)

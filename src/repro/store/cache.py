@@ -30,8 +30,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core.errors import ReplicaDivergence, ShardUnavailable
 from ..core.integrity import STORE_CORRUPT_CHECK, IntegrityViolation
 from .artifacts import ArtifactCorrupt, ArtifactStore, StoreError
+from .fabric import FabricStore
+from .shards import resolve_geometry
 
 logger = logging.getLogger(__name__)
 
@@ -63,13 +66,32 @@ class StageProvenance:
 class CampaignStore:
     """Stage-result cache shared by one CLI invocation / serve process."""
 
-    def __init__(self, root: str | os.PathLike, refresh: bool = False):
-        self.artifacts = ArtifactStore(root)
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        refresh: bool = False,
+        shards: int | None = None,
+        replicas: int | None = None,
+    ):
+        # a root with a persisted fabric.json (or explicit --shards flags)
+        # opens as a replicated FabricStore; anything else stays the plain
+        # single-file ArtifactStore.  Both speak the same surface.
+        shard_map = resolve_geometry(root, shards, replicas)
+        if shard_map is None:
+            self.artifacts: ArtifactStore | FabricStore = ArtifactStore(root)
+        else:
+            self.artifacts = FabricStore(
+                root, n_shards=shard_map.n_shards, n_replicas=shard_map.n_replicas
+            )
         #: when True every lookup misses, so results are recomputed and
         #: republished (cache-busting without deleting the store)
         self.refresh = refresh
         self.provenance: list[StageProvenance] = []
         self.violations: list[IntegrityViolation] = []
+
+    @property
+    def is_fabric(self) -> bool:
+        return isinstance(self.artifacts, FabricStore)
 
     # ---------------------------------------------------------------- lookup
     def lookup(self, kind: str, key: str) -> dict | None:
@@ -92,6 +114,22 @@ class CampaignStore:
             self.violations.append(violation)
             logger.warning("store: %s", violation.describe())
             return None
+        except ReplicaDivergence as exc:
+            # every copy failed its CRC: the campaign recomputes and the
+            # republish repopulates the placement with a trusted copy
+            violation = IntegrityViolation(
+                check=STORE_CORRUPT_CHECK,
+                fault=key,
+                detail=f"every replica of the {kind} artifact diverged: {exc}",
+            )
+            self.violations.append(violation)
+            logger.warning("store: %s", violation.describe())
+            return None
+        except ShardUnavailable as exc:
+            # no replica reachable right now; a cache miss is the safe
+            # degradation -- recomputation does not need the store at all
+            logger.warning("store: fabric lookup degraded to a miss: %s", exc)
+            return None
 
     # --------------------------------------------------------------- publish
     def publish(
@@ -109,7 +147,7 @@ class CampaignStore:
                 kind, key, payload, design=design, meta=meta, wall_s=wall_s
             )
             return True
-        except StoreError as exc:
+        except (StoreError, ShardUnavailable) as exc:
             logger.warning("store: could not publish %s artifact: %s", kind, exc)
             return False
 

@@ -1,0 +1,785 @@
+"""Replicated shard fabric: a self-healing multi-shard campaign store.
+
+:class:`FabricStore` presents the exact surface the rest of the system
+already speaks (:class:`~repro.store.artifacts.ArtifactStore`'s
+``put/get/get_bytes/row/rows/stats/gc/verify``) over **N** SQLite shards
+with replication factor **R**, so :class:`~repro.store.cache.
+CampaignStore`, the query layer, and the serve layer all run unchanged
+on top of it.  What changes is the failure domain: losing any single
+shard -- its database deleted, its file locked by a wedged process, its
+blobs bit-rotted -- loses *nothing*, because every key lives on
+``R`` shards chosen by :class:`~repro.store.shards.ShardMap` and the
+fabric routes around the damage:
+
+* **write-through replication** -- :meth:`put` writes the payload to the
+  primary and every replica shard.  A replica that cannot take the
+  write degrades the publish (counted, logged) instead of failing it;
+  the anti-entropy :meth:`scrub` restores full replication later.  A
+  publish that lands on *zero* shards raises
+  :class:`~repro.core.errors.ShardUnavailable`;
+* **failover reads** -- :meth:`get_bytes` tries the placement in order
+  (primary first).  A shard that is gone, locked, or corrupt is skipped
+  and the next replica answers.  With ``hedge_delay`` set, a read that
+  has not answered within the delay *hedges*: the next replica is raced
+  in parallel and the first good copy wins, capping tail latency on a
+  slow/wedged shard at roughly the hedge delay;
+* **read repair** -- when a read had to fail over (a copy was missing
+  or failed its CRC), the winning copy is written back to every
+  placement shard that could not serve it, so hot keys re-replicate
+  themselves without waiting for a scrub;
+* **anti-entropy scrub** -- :meth:`scrub` walks every key, CRC-verifies
+  every copy on its placement (reusing the per-shard ``verify``
+  machinery and its shared whole-pass lock), repairs missing/corrupt
+  copies from a proven-good one, re-places keys stranded off their
+  placement (after a rebalance or a heal), and reports whether the
+  fabric is back to full replication;
+* **rebalance** -- :meth:`rebalance` migrates a store to a new
+  geometry (including converting a legacy single-file store into a
+  fabric), re-placing every artifact before the new geometry is
+  persisted.
+
+Health per shard is tracked with a tiny circuit: after
+``SHARD_FAIL_THRESHOLD`` consecutive errors a shard is marked down and
+skipped for ``shard_cooldown`` seconds (reads go straight to replicas),
+then probed again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import queue
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..core.errors import ReplicaDivergence, ShardUnavailable
+from .artifacts import ArtifactCorrupt, ArtifactRow, ArtifactStore, StoreError
+from .shards import (
+    ShardMap,
+    load_geometry,
+    resolve_geometry,
+    save_geometry,
+    shard_root,
+)
+
+logger = logging.getLogger(__name__)
+
+#: default seconds a fabric shard operation may wait on that shard's lock
+#: (much shorter than the single-store default: the whole point of
+#: replication is to fail over instead of queueing behind a wedged shard)
+SHARD_LOCK_TIMEOUT = 2.0
+
+#: consecutive shard errors before its circuit opens
+SHARD_FAIL_THRESHOLD = 3
+
+#: seconds a tripped shard is skipped before it is probed again
+DEFAULT_SHARD_COOLDOWN = 5.0
+
+#: errors that mean "this shard cannot answer right now" (as opposed to
+#: a clean miss or a corrupt-copy signal, which have their own handling)
+_SHARD_ERRORS = (sqlite3.Error, OSError, StoreError)
+
+
+class FabricStore:
+    """Coordinator over N replicated :class:`ArtifactStore` shards.
+
+    Drop-in for :class:`ArtifactStore` wherever the campaign layers
+    hold one.  Not thread-*hostile*: counters are lock-protected and
+    every shard operation opens its own SQLite connection, so serve
+    handler threads may share one instance.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        n_shards: int | None = None,
+        n_replicas: int | None = None,
+        lock_timeout: float = SHARD_LOCK_TIMEOUT,
+        hedge_delay: float | None = None,
+        shard_cooldown: float = DEFAULT_SHARD_COOLDOWN,
+    ):
+        self.root = Path(root)
+        shard_map = resolve_geometry(self.root, n_shards, n_replicas)
+        if shard_map is None:
+            raise ShardUnavailable(
+                f"{self.root} is not a fabric store (no fabric.json and no "
+                f"--shards geometry requested)"
+            )
+        self.map = shard_map
+        self.lock_timeout = lock_timeout
+        self.hedge_delay = hedge_delay
+        self.shard_cooldown = shard_cooldown
+        self.root.mkdir(parents=True, exist_ok=True)
+        if load_geometry(self.root) is None:
+            save_geometry(self.root, shard_map)
+        self.shards = [
+            ArtifactStore(shard_root(self.root, i), lock_timeout=lock_timeout)
+            for i in range(shard_map.n_shards)
+        ]
+        self._lock = threading.Lock()
+        self._fails = [0] * shard_map.n_shards  # consecutive errors per shard
+        self._down_until = [0.0] * shard_map.n_shards
+        # ---- counters surfaced by stats()["fabric"]
+        self.reads = 0
+        self.writes = 0
+        self.failovers = 0
+        self.hedged = 0
+        self.hedge_wins = 0
+        self.read_repairs = 0
+        self.degraded_writes = 0
+        self.shard_errors = 0
+
+    # ------------------------------------------------------- shard health
+    def _note_ok(self, shard_id: int) -> None:
+        with self._lock:
+            self._fails[shard_id] = 0
+            self._down_until[shard_id] = 0.0
+
+    def _note_error(self, shard_id: int, exc: BaseException) -> None:
+        with self._lock:
+            self.shard_errors += 1
+            self._fails[shard_id] += 1
+            if self._fails[shard_id] >= SHARD_FAIL_THRESHOLD:
+                self._down_until[shard_id] = time.monotonic() + self.shard_cooldown
+        logger.warning(
+            "fabric: shard %d error (%s: %s)", shard_id, type(exc).__name__, exc
+        )
+
+    def _skippable(self, shard_id: int) -> bool:
+        """True when the shard's circuit is open (cooldown not elapsed)."""
+        with self._lock:
+            return time.monotonic() < self._down_until[shard_id]
+
+    def shard_health(self) -> list[dict]:
+        now = time.monotonic()
+        with self._lock:
+            return [
+                {
+                    "shard": i,
+                    "consecutive_errors": self._fails[i],
+                    "down": now < self._down_until[i],
+                    "retry_in_s": max(0.0, self._down_until[i] - now),
+                }
+                for i in range(self.map.n_shards)
+            ]
+
+    # ------------------------------------------------------------- publish
+    def put(
+        self,
+        kind: str,
+        key: str,
+        payload: Any,
+        design: str = "",
+        meta: dict | None = None,
+        wall_s: float = 0.0,
+        lock_timeout: float | None = None,
+    ) -> str:
+        """Write-through to primary + replicas; returns the blob sha.
+
+        Succeeds when at least one copy lands; fewer than the full
+        replica set is a *degraded* write (counted, repaired by the
+        next scrub or read-repair).  Zero copies raises
+        :class:`ShardUnavailable`.
+        """
+        placement = self.map.placement(key)
+        sha: str | None = None
+        errors: list[str] = []
+        for shard_id in placement:
+            try:
+                sha = self._shard_put(
+                    shard_id, kind, key, payload,
+                    design=design, meta=meta, wall_s=wall_s,
+                    lock_timeout=lock_timeout,
+                )
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                errors.append(f"shard {shard_id}: {type(exc).__name__}: {exc}")
+        with self._lock:
+            self.writes += 1
+            if errors and sha is not None:
+                self.degraded_writes += 1
+        if sha is None:
+            raise ShardUnavailable(
+                f"publish of {kind} {key[:12]}… failed on every replica shard "
+                f"({'; '.join(errors)})"
+            )
+        if errors:
+            logger.warning(
+                "fabric: degraded publish of %s (%d/%d copies): %s",
+                key[:12], len(placement) - len(errors), len(placement),
+                "; ".join(errors),
+            )
+        return sha
+
+    def _shard_put(self, shard_id: int, kind: str, key: str, payload: Any,
+                   **kwargs) -> str:
+        """One shard write, healing a wiped shard DB (schema recreated)."""
+        shard = self.shards[shard_id]
+        try:
+            return shard.put(kind, key, payload, **kwargs)
+        except sqlite3.OperationalError:
+            # a deleted/reset shard database: sqlite recreates the file on
+            # connect but the schema is gone -- restore it and retry once.
+            shard.ensure_schema()
+            return shard.put(kind, key, payload, **kwargs)
+
+    # --------------------------------------------------------------- reads
+    def row(self, key: str) -> ArtifactRow | None:
+        """Index row with failover: first placement shard that has it."""
+        for shard_id in self.map.placement(key):
+            if self._skippable(shard_id):
+                continue
+            try:
+                row = self.shards[shard_id].row(key)
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                continue
+            if row is not None:
+                return row
+        return None
+
+    def get_bytes(self, key: str) -> tuple[bytes, ArtifactRow] | None:
+        """Integrity-verified read with failover, hedging and read repair.
+
+        Placement shards are tried primary-first; a missing, corrupt or
+        erroring copy fails over to the next replica.  The first good
+        copy wins and is written back to every shard that failed to
+        serve it (read repair).  Returns None only when every reachable
+        replica agrees the key is absent.  Raises
+        :class:`ShardUnavailable` when no replica could answer at all,
+        and :class:`ReplicaDivergence` when copies exist but none
+        verifies.
+        """
+        with self._lock:
+            self.reads += 1
+        placement = self.map.placement(key)
+        if self.hedge_delay is not None and len(placement) > 1:
+            return self._get_hedged(key, placement)
+        return self._get_sequential(key, placement)
+
+    def _get_sequential(
+        self, key: str, placement: tuple[int, ...]
+    ) -> tuple[bytes, ArtifactRow] | None:
+        repair_targets: list[int] = []  # shards that had a bad/absent copy
+        clean_misses = 0
+        errors = 0
+        corrupt = 0
+        for pos, shard_id in enumerate(placement):
+            if self._skippable(shard_id):
+                errors += 1
+                repair_targets.append(shard_id)
+                continue
+            try:
+                found = self.shards[shard_id].get_bytes(key)
+                self._note_ok(shard_id)
+            except ArtifactCorrupt:
+                # the shard already quarantined its bad copy; fail over
+                corrupt += 1
+                repair_targets.append(shard_id)
+                continue
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                errors += 1
+                repair_targets.append(shard_id)
+                continue
+            if found is None:
+                clean_misses += 1
+                repair_targets.append(shard_id)
+                continue
+            if pos > 0:
+                with self._lock:
+                    self.failovers += 1
+            self._read_repair(key, found, repair_targets)
+            return found
+        return self._all_copies_failed(key, placement, clean_misses, errors, corrupt)
+
+    def _get_hedged(
+        self, key: str, placement: tuple[int, ...]
+    ) -> tuple[bytes, ArtifactRow] | None:
+        """Race the placement: start the primary, hedge to the next
+        replica after ``hedge_delay``, first verified copy wins."""
+        results: queue.Queue = queue.Queue()
+
+        def read(shard_id: int) -> None:
+            if self._skippable(shard_id):
+                results.put((shard_id, "error", None))
+                return
+            try:
+                found = self.shards[shard_id].get_bytes(key)
+                self._note_ok(shard_id)
+                results.put((shard_id, "ok", found))
+            except ArtifactCorrupt:
+                results.put((shard_id, "corrupt", None))
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                results.put((shard_id, "error", None))
+
+        started = 0
+
+        def launch() -> None:
+            nonlocal started
+            threading.Thread(
+                target=read, args=(placement[started],), daemon=True,
+                name=f"fabric-read-{placement[started]}",
+            ).start()
+            started += 1
+
+        launch()
+        outcomes: dict[int, str] = {}
+        clean_misses = errors = corrupt = 0
+        winner: tuple[bytes, ArtifactRow] | None = None
+        pending = 1
+        while pending:
+            try:
+                shard_id, status, found = results.get(
+                    timeout=self.hedge_delay if started < len(placement) else None
+                )
+            except queue.Empty:
+                # primary (or earlier hedge) is slow: race the next replica
+                with self._lock:
+                    self.hedged += 1
+                launch()
+                pending += 1
+                continue
+            pending -= 1
+            outcomes[shard_id] = status
+            if status == "ok" and found is not None:
+                winner = found
+                if shard_id != placement[0]:
+                    with self._lock:
+                        self.failovers += 1
+                    if started > 1:
+                        with self._lock:
+                            self.hedge_wins += 1
+                break
+            if status == "ok":
+                clean_misses += 1
+            elif status == "corrupt":
+                corrupt += 1
+            else:
+                errors += 1
+            if pending == 0 and started < len(placement):
+                launch()
+                pending += 1
+        if winner is None:
+            return self._all_copies_failed(key, placement, clean_misses, errors, corrupt)
+        # repair every shard that answered badly (error/corrupt) or answered
+        # a clean miss while a replica held the copy; in-flight hedges that
+        # never reported are left for the anti-entropy scrub
+        repair_targets = [
+            s for s, status in outcomes.items()
+            if status in ("corrupt", "error")
+            or (status == "ok" and s != shard_id)  # clean miss, not the winner
+        ]
+        self._read_repair(key, winner, repair_targets)
+        return winner
+
+    def _all_copies_failed(
+        self, key: str, placement: tuple[int, ...],
+        clean_misses: int, errors: int, corrupt: int,
+    ) -> tuple[bytes, ArtifactRow] | None:
+        """Classify a read where no replica produced a verified copy."""
+        if clean_misses == len(placement):
+            return None  # genuinely absent everywhere: an honest miss
+        if corrupt and not errors and clean_misses == 0:
+            raise ReplicaDivergence(
+                f"every replica of {key[:12]}… failed its content hash "
+                f"({corrupt} corrupt copies quarantined); recompute or scrub"
+            )
+        if clean_misses:
+            # some shards never had it, the rest are down/corrupt: the key
+            # may never have been fully replicated -- treat as a miss so
+            # the campaign recomputes (and re-publishes to healthy shards)
+            # rather than failing the request outright.
+            logger.warning(
+                "fabric: %s degraded to a miss (%d absent, %d unavailable, "
+                "%d corrupt of %d replicas)",
+                key[:12], clean_misses, errors, corrupt, len(placement),
+            )
+            return None
+        raise ShardUnavailable(
+            f"no replica of {key[:12]}… is reachable "
+            f"({errors} shard(s) unavailable, {corrupt} corrupt)"
+        )
+
+    def get(self, key: str) -> Any | None:
+        found = self.get_bytes(key)
+        if found is None:
+            return None
+        data, _ = found
+        return json.loads(data)
+
+    # --------------------------------------------------------- read repair
+    def _read_repair(
+        self,
+        key: str,
+        found: tuple[bytes, ArtifactRow],
+        targets: list[int],
+    ) -> None:
+        """Write the winning copy back to shards that failed to serve it."""
+        if not targets:
+            return
+        data, row = found
+        payload = json.loads(data)  # canonical bytes round-trip bit-identically
+        for shard_id in targets:
+            if self._skippable(shard_id):
+                continue
+            try:
+                self._shard_put(
+                    shard_id, row.kind, key, payload,
+                    design=row.design, meta=row.meta, wall_s=row.wall_s,
+                    lock_timeout=self.lock_timeout,
+                )
+                self._note_ok(shard_id)
+                with self._lock:
+                    self.read_repairs += 1
+                logger.info("fabric: read-repaired %s onto shard %d", key[:12], shard_id)
+            except _SHARD_ERRORS as exc:  # best effort; scrub finishes the job
+                self._note_error(shard_id, exc)
+
+    # ------------------------------------------------------------ listings
+    def rows(self, kind: str | None = None, design: str | None = None) -> Iterator[ArtifactRow]:
+        """Union of every shard's rows, deduplicated by key.
+
+        Replicas hold identical payloads under identical keys, so the
+        first-seen row per key wins; ordering matches the single-store
+        contract (created_at, key).  An unreachable shard degrades to a
+        partial listing (its keys still appear via their replicas).
+        """
+        best: dict[str, ArtifactRow] = {}
+        for shard_id, shard in enumerate(self.shards):
+            if self._skippable(shard_id):
+                continue
+            try:
+                for row in shard.rows(kind=kind, design=design):
+                    seen = best.get(row.key)
+                    if seen is None or row.created_at < seen.created_at:
+                        best[row.key] = row
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+        yield from sorted(best.values(), key=lambda r: (r.created_at, r.key))
+
+    # ----------------------------------------------------------- telemetry
+    def stats(self) -> dict:
+        """Aggregate statistics, shaped like a single store's plus fabric
+        topology/health (unique keys once, physical blobs summed)."""
+        per_shard: list[dict] = []
+        keys: set[str] = set()
+        by_kind: dict[str, dict] = {}
+        indexed = blobs = blob_bytes = orphans = 0
+        for shard_id, shard in enumerate(self.shards):
+            try:
+                s = shard.stats()
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                per_shard.append({"shard": shard_id, "error": str(exc)})
+                continue
+            s["shard"] = shard_id
+            per_shard.append(s)
+            blobs += s["blobs"]
+            blob_bytes += s["blob_bytes"]
+            orphans += s["orphan_blobs"]
+            try:
+                for row in shard.rows():
+                    if row.key in keys:
+                        continue
+                    keys.add(row.key)
+                    indexed += row.size_bytes
+                    bucket = by_kind.setdefault(row.kind, {"artifacts": 0, "bytes": 0})
+                    bucket["artifacts"] += 1
+                    bucket["bytes"] += row.size_bytes
+            except _SHARD_ERRORS:  # pragma: no cover - raced shard loss
+                pass
+        with self._lock:
+            counters = {
+                "reads": self.reads,
+                "writes": self.writes,
+                "failovers": self.failovers,
+                "hedged": self.hedged,
+                "hedge_wins": self.hedge_wins,
+                "read_repairs": self.read_repairs,
+                "degraded_writes": self.degraded_writes,
+                "shard_errors": self.shard_errors,
+            }
+        return {
+            "root": str(self.root),
+            "artifacts": len(keys),
+            "indexed_bytes": indexed,
+            "by_kind": dict(sorted(by_kind.items())),
+            "blobs": blobs,
+            "blob_bytes": blob_bytes,
+            "orphan_blobs": orphans,
+            "fabric": {
+                "shards": self.map.n_shards,
+                "replicas": self.map.n_replicas,
+                "health": self.shard_health(),
+                **counters,
+            },
+            "shards": per_shard,
+        }
+
+    # ----------------------------------------------------------- chaos aid
+    def _blob_path(self, sha: str) -> Path:
+        """Primary-copy blob path lookup used by the chaos harness.
+
+        A content sha does not identify its key (and hence placement),
+        so scan shards for the blob; used only by test tooling.
+        """
+        for shard in self.shards:
+            path = shard._blob_path(sha)
+            if path.exists():
+                return path
+        return self.shards[0]._blob_path(sha)
+
+    # ----------------------------------------------------------- maintenance
+    def gc(self) -> dict:
+        """Per-shard gc under each shard's exclusive whole-pass lock."""
+        removed = freed = 0
+        for shard_id, shard in enumerate(self.shards):
+            try:
+                out = shard.gc()
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                continue
+            removed += out["removed_blobs"]
+            freed += out["freed_bytes"]
+        return {"removed_blobs": removed, "freed_bytes": freed}
+
+    def verify(self) -> list[dict]:
+        """Per-shard verify (shared whole-pass lock), defects tagged."""
+        defects: list[dict] = []
+        for shard_id, shard in enumerate(self.shards):
+            try:
+                found = shard.verify()
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                defects.append(
+                    {"shard": shard_id, "defect": "shard-unavailable", "error": str(exc)}
+                )
+                continue
+            defects.extend(dict(d, shard=shard_id) for d in found)
+        return defects
+
+    # --------------------------------------------------------- anti-entropy
+    def scrub(self, repair: bool = True) -> dict:
+        """Anti-entropy pass: verify every copy of every key, repair from
+        a proven-good one, and re-place stranded keys.
+
+        Scans each shard under its *shared* whole-pass lock (concurrent
+        publishes wait, so a half-published artifact can never be
+        counted as a missing replica), then applies repairs with the
+        locks released -- repairs are plain idempotent publishes.
+
+        Returns a report; ``full_replication`` is True when every key
+        ends the pass with all its copies present and verified.
+        """
+        # ---- scan phase: what does each shard actually hold, and is it good?
+        copies: dict[str, dict[int, str]] = {}  # key -> shard -> blob sha or ""
+        rows_by_key: dict[str, ArtifactRow] = {}
+        shard_down: set[int] = set()
+        bad_blobs: list[Path] = []  # failed their CRC; must not survive dedup
+        for shard_id, shard in enumerate(self.shards):
+            try:
+                with shard.reader():
+                    try:
+                        shard_rows = list(shard.rows())
+                    except sqlite3.OperationalError:
+                        # wiped/reset shard DB: heal the schema and scan it
+                        # as empty, so the repair phase can re-replicate
+                        # onto it instead of writing the shard off as down
+                        shard.ensure_schema()
+                        shard_rows = []
+                    for row in shard_rows:
+                        state = copies.setdefault(row.key, {})
+                        path = shard._blob_path(row.blob_sha)
+                        try:
+                            data = path.read_bytes()
+                        except OSError:
+                            state[shard_id] = ""  # indexed but blob gone
+                            continue
+                        actual = hashlib.sha256(data).hexdigest()
+                        state[shard_id] = actual if actual == row.blob_sha else ""
+                        if actual != row.blob_sha:
+                            bad_blobs.append(path)
+                        elif row.key not in rows_by_key:
+                            rows_by_key[row.key] = row
+                self._note_ok(shard_id)
+            except _SHARD_ERRORS as exc:
+                self._note_error(shard_id, exc)
+                shard_down.add(shard_id)
+
+        # ---- plan + repair phase
+        if repair:
+            # drop rotted blob files first: the repair re-put is content-
+            # addressed and dedups on file existence, so a corrupt blob
+            # left at its address would silently survive the "repair"
+            for path in bad_blobs:
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - raced shard loss
+                    pass
+        report = {
+            "keys": len(copies),
+            "checked_copies": sum(len(c) for c in copies.values()),
+            "repaired": 0,
+            "replaced": 0,
+            "lost": [],
+            "shards_down": sorted(shard_down),
+            "full_replication": True,
+        }
+        for key, state in sorted(copies.items()):
+            placement = self.map.placement(key)
+            good = [s for s, sha in state.items() if sha]
+            if not good:
+                report["lost"].append(key)
+                report["full_replication"] = False
+                continue
+            source = self.shards[good[0]].get_bytes(key)
+            if source is None:  # pragma: no cover - raced deletion mid-scrub
+                report["lost"].append(key)
+                report["full_replication"] = False
+                continue
+            missing = [
+                s for s in placement
+                if s not in shard_down and state.get(s, None) in (None, "")
+            ]
+            stranded = [s for s in good if s not in placement]
+            if not repair:
+                if missing or stranded:
+                    report["full_replication"] = False
+                continue
+            data, row = source
+            payload = json.loads(data)
+            for shard_id in missing:
+                try:
+                    self._shard_put(
+                        shard_id, row.kind, key, payload,
+                        design=row.design, meta=row.meta, wall_s=row.wall_s,
+                    )
+                    report["repaired"] += 1
+                except _SHARD_ERRORS as exc:
+                    self._note_error(shard_id, exc)
+                    report["full_replication"] = False
+            for shard_id in stranded:
+                # a copy living off its placement (old geometry): make sure
+                # the placement is whole, then drop the stray row
+                try:
+                    self._drop_row(shard_id, key)
+                    report["replaced"] += 1
+                except _SHARD_ERRORS as exc:  # pragma: no cover - best effort
+                    self._note_error(shard_id, exc)
+            if any(s in shard_down for s in placement):
+                report["full_replication"] = False
+        return report
+
+    def _drop_row(self, shard_id: int, key: str) -> None:
+        """Remove one index row from a shard (stray copy after rebalance);
+        the unreferenced blob is left for that shard's next gc."""
+        shard = self.shards[shard_id]
+        with shard.writer():
+            with shard._connect() as con:
+                con.execute("DELETE FROM artifacts WHERE key = ?", (key,))
+
+    # ------------------------------------------------------------ rebalance
+    def rebalance(self, n_shards: int, n_replicas: int) -> dict:
+        """Migrate every artifact to a new geometry, then persist it.
+
+        Copy-then-delete per key: every copy lands on its new placement
+        before any old-placement row is dropped, so a crash mid-
+        rebalance leaves extra copies (healed by scrub + gc), never
+        missing ones.
+        """
+        new_map = ShardMap(n_shards=n_shards, n_replicas=n_replicas)
+        grown = [
+            ArtifactStore(shard_root(self.root, i), lock_timeout=self.lock_timeout)
+            for i in range(max(new_map.n_shards, self.map.n_shards))
+        ]
+        self.shards = grown[: max(new_map.n_shards, self.map.n_shards)]
+        with self._lock:
+            self._fails = [0] * len(self.shards)
+            self._down_until = [0.0] * len(self.shards)
+        moved = copied = dropped = 0
+        keys = [row.key for row in self.rows()]
+        for key in keys:
+            found = self.get_bytes(key)
+            if found is None:  # pragma: no cover - raced deletion
+                continue
+            data, row = found
+            payload = json.loads(data)
+            new_placement = set(new_map.placement(key))
+            old_placement = set(self.map.placement(key))
+            for shard_id in sorted(new_placement):
+                self._shard_put(
+                    shard_id, row.kind, key, payload,
+                    design=row.design, meta=row.meta, wall_s=row.wall_s,
+                )
+                copied += 1
+            for shard_id in sorted(old_placement - new_placement):
+                if shard_id < len(self.shards):
+                    self._drop_row(shard_id, key)
+                    dropped += 1
+            if new_placement != old_placement:
+                moved += 1
+        self.map = new_map
+        self.shards = self.shards[: new_map.n_shards]
+        with self._lock:
+            self._fails = self._fails[: new_map.n_shards]
+            self._down_until = self._down_until[: new_map.n_shards]
+        save_geometry(self.root, new_map)
+        return {
+            "shards": new_map.n_shards,
+            "replicas": new_map.n_replicas,
+            "keys": len(keys),
+            "moved": moved,
+            "copies_written": copied,
+            "rows_dropped": dropped,
+        }
+
+    @classmethod
+    def convert(
+        cls,
+        root: str | os.PathLike,
+        n_shards: int,
+        n_replicas: int,
+        lock_timeout: float = SHARD_LOCK_TIMEOUT,
+    ) -> tuple["FabricStore", dict]:
+        """Convert a legacy single-file store at ``root`` into a fabric.
+
+        Every artifact of the root-level index is copied onto its
+        placement shards; the legacy ``index.db``/``objects`` tree is
+        left untouched (delete it once satisfied) but ignored from then
+        on -- ``fabric.json`` makes every later open fabric-shaped.
+        """
+        legacy = ArtifactStore(root, lock_timeout=lock_timeout)
+        fabric = cls(
+            root, n_shards=n_shards, n_replicas=n_replicas, lock_timeout=lock_timeout
+        )
+        migrated = 0
+        with legacy.reader():
+            legacy_rows = list(legacy.rows())
+        for row in legacy_rows:
+            found = legacy.get_bytes(row.key)
+            if found is None:  # pragma: no cover - corrupt legacy entry
+                continue
+            data, _ = found
+            fabric.put(
+                row.kind, row.key, json.loads(data),
+                design=row.design, meta=row.meta, wall_s=row.wall_s,
+            )
+            migrated += 1
+        return fabric, {
+            "migrated": migrated,
+            "shards": n_shards,
+            "replicas": n_replicas,
+        }

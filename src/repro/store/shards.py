@@ -1,0 +1,167 @@
+"""Shard placement for the replicated campaign-store fabric.
+
+The content-addressed store keys everything by canonical sha-256
+fingerprints (:mod:`repro.store.fingerprint`), which makes partitioning
+trivial and perfectly balanced: the leading hex digits of a key are
+already a uniform hash, so a key's **primary shard** is just its prefix
+modulo the shard count, and its **replicas** are the next
+``n_replicas - 1`` shards on the ring.  :class:`ShardMap` is the pure
+placement function; :mod:`repro.store.fabric` is the coordinator that
+acts on it.
+
+Geometry is persisted in ``<root>/fabric.json`` so every process that
+opens the store -- CLI runs, serve nodes, scrubbers -- agrees on the
+layout without flags.  Changing the geometry of a live store is a data
+migration, not a config edit: :meth:`FabricStore.rebalance
+<repro.store.fabric.FabricStore.rebalance>` re-places every artifact
+and only then rewrites ``fabric.json``.
+
+Layout of a fabric root directory::
+
+    <root>/fabric.json         persisted geometry {schema, shards, replicas}
+    <root>/shard-00/           one full ArtifactStore per shard
+    <root>/shard-01/               (index.db + objects/ + store.lock)
+    ...
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.errors import CampaignError
+
+#: bumped when the fabric.json layout changes incompatibly
+FABRIC_SCHEMA = 1
+
+#: geometry bounds: enough for any single-machine fabric, small enough
+#: that a typo'd flag fails fast instead of creating 10^6 directories
+MAX_SHARDS = 256
+
+FABRIC_CONFIG = "fabric.json"
+
+
+def shard_name(shard_id: int) -> str:
+    return f"shard-{shard_id:02d}"
+
+
+def shard_root(root: str | os.PathLike, shard_id: int) -> Path:
+    return Path(root) / shard_name(shard_id)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Pure key -> replica-set placement over ``n_shards`` shards.
+
+    ``n_replicas`` counts *total* copies including the primary, and is
+    silently capped at the shard count (you cannot hold two copies of a
+    key on one shard -- they would share the same SQLite file and die
+    together, which is zero extra redundancy).
+    """
+
+    n_shards: int
+    n_replicas: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_shards <= MAX_SHARDS:
+            raise CampaignError(
+                f"shard count must be in [1, {MAX_SHARDS}], got {self.n_shards}"
+            )
+        if self.n_replicas < 1:
+            raise CampaignError(
+                f"replication factor must be >= 1, got {self.n_replicas}"
+            )
+
+    @property
+    def copies(self) -> int:
+        """Effective copies per key: min(replicas, shards)."""
+        return min(self.n_replicas, self.n_shards)
+
+    def primary(self, key: str) -> int:
+        """The primary shard of a store key (its fingerprint prefix)."""
+        try:
+            prefix = int(key[:8], 16)
+        except (ValueError, IndexError):
+            # non-fingerprint keys (tests, ad-hoc tags): hash to a prefix
+            prefix = int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:8], 16)
+        return prefix % self.n_shards
+
+    def placement(self, key: str) -> tuple[int, ...]:
+        """Every shard holding a copy of ``key``, primary first."""
+        first = self.primary(key)
+        return tuple((first + i) % self.n_shards for i in range(self.copies))
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": FABRIC_SCHEMA,
+            "shards": self.n_shards,
+            "replicas": self.n_replicas,
+        }
+
+
+def save_geometry(root: str | os.PathLike, shard_map: ShardMap) -> None:
+    """Atomically persist the fabric geometry under ``root``."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    tmp = root / f".{FABRIC_CONFIG}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(shard_map.to_json_dict(), indent=2), encoding="utf-8")
+    os.replace(tmp, root / FABRIC_CONFIG)
+
+
+def load_geometry(root: str | os.PathLike) -> ShardMap | None:
+    """The persisted geometry of a fabric root, or None for a plain store."""
+    path = Path(root) / FABRIC_CONFIG
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        raise CampaignError(f"unreadable fabric config {path}: {exc}") from exc
+    if raw.get("schema") != FABRIC_SCHEMA:
+        raise CampaignError(
+            f"fabric config {path} has schema {raw.get('schema')!r}; "
+            f"this build understands schema {FABRIC_SCHEMA}"
+        )
+    try:
+        return ShardMap(n_shards=int(raw["shards"]), n_replicas=int(raw["replicas"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CampaignError(f"malformed fabric config {path}: {exc}") from exc
+
+
+def resolve_geometry(
+    root: str | os.PathLike,
+    n_shards: int | None = None,
+    n_replicas: int | None = None,
+) -> ShardMap | None:
+    """Reconcile requested geometry flags with a store's persisted one.
+
+    * nothing persisted, no flags -> None (plain single-file store);
+    * nothing persisted, flags -> a brand-new fabric geometry;
+    * persisted, no flags -> the persisted geometry (serve nodes and
+      queries need no flags);
+    * persisted and flags -> they must agree; a mismatch raises instead
+      of silently mis-placing keys (``store rebalance`` is the migration
+      path).
+    """
+    persisted = load_geometry(root)
+    if n_shards is None and n_replicas is None:
+        return persisted
+    if persisted is None:
+        if n_shards is None or n_shards <= 1:
+            return None
+        return ShardMap(n_shards=n_shards, n_replicas=n_replicas or 2)
+    requested = ShardMap(
+        n_shards=persisted.n_shards if n_shards is None else n_shards,
+        n_replicas=persisted.n_replicas if n_replicas is None else n_replicas,
+    )
+    if requested != persisted:
+        raise CampaignError(
+            f"store {root} is a {persisted.n_shards}-shard/"
+            f"{persisted.n_replicas}-replica fabric but "
+            f"--shards/--replicas request {requested.n_shards}/"
+            f"{requested.n_replicas}; run 'store rebalance' to migrate"
+        )
+    return persisted

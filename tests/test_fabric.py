@@ -1,0 +1,583 @@
+"""Tests for the replicated shard fabric (:mod:`repro.store.shards`,
+:mod:`repro.store.fabric`) and its integration with the campaign cache.
+
+Covers the robustness acceptance surface of the store layer: shard
+placement properties, geometry persistence and flag reconciliation,
+write-through replication, failover reads around deleted / locked /
+corrupted shards with read repair, divergence vs. unavailability
+classification, the anti-entropy scrub, rebalance and legacy-store
+conversion, the shared/exclusive whole-pass store locks, and the
+kill-a-node acceptance scenario (two serve processes over one fabric,
+one SIGKILLed mid-campaign, zero client-visible failures and
+bit-identical bodies).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import CampaignError, ReplicaDivergence, ShardUnavailable
+from repro.core.integrity import STORE_CORRUPT_CHECK
+from repro.store.artifacts import ArtifactStore, StoreLockError
+from repro.store.cache import CampaignStore
+from repro.store.client import StoreClient
+from repro.store.fabric import FabricStore
+from repro.store.fingerprint import digest
+from repro.store.shards import (
+    MAX_SHARDS,
+    ShardMap,
+    load_geometry,
+    resolve_geometry,
+    save_geometry,
+    shard_root,
+)
+from repro.testing.chaos import ServiceChaos
+
+
+# ----------------------------------------------------------------- helpers
+def _keys(n: int) -> list[str]:
+    """Realistic store keys: canonical sha-256 fingerprints."""
+    return [digest({"test-key": i}) for i in range(n)]
+
+
+def _seed(fabric: FabricStore, n: int = 8) -> dict[str, dict]:
+    payloads = {}
+    for i, key in enumerate(_keys(n)):
+        payloads[key] = {"design": "facet", "n": i}
+        fabric.put("report", key, payloads[key], design="facet")
+    return payloads
+
+
+def _holders(fabric: FabricStore, key: str) -> list[int]:
+    """Shard ids whose index currently has a row for ``key``."""
+    return [i for i, s in enumerate(fabric.shards) if s.row(key) is not None]
+
+
+# ---------------------------------------------------------- shard placement
+def test_shard_map_placement_properties():
+    smap = ShardMap(n_shards=5, n_replicas=3)
+    for key in _keys(50):
+        placement = smap.placement(key)
+        assert len(placement) == 3
+        assert len(set(placement)) == 3  # replicas on distinct shards
+        assert placement[0] == smap.primary(key)
+        assert all(0 <= s < 5 for s in placement)
+        assert placement == smap.placement(key)  # pure / deterministic
+    # the fingerprint prefix is the partition function
+    key = _keys(1)[0]
+    assert smap.primary(key) == int(key[:8], 16) % 5
+
+
+def test_shard_map_caps_replicas_at_shard_count():
+    # two copies of a key on one shard share a SQLite file and die
+    # together: zero extra redundancy, so the cap is silent
+    assert ShardMap(n_shards=2, n_replicas=5).copies == 2
+    assert ShardMap(n_shards=2, n_replicas=5).placement("ab" * 32) != ()
+
+
+def test_shard_map_hashes_non_fingerprint_keys():
+    smap = ShardMap(n_shards=4, n_replicas=2)
+    placement = smap.placement("not-a-fingerprint!")
+    assert placement == smap.placement("not-a-fingerprint!")
+    assert all(0 <= s < 4 for s in placement)
+
+
+def test_shard_map_rejects_absurd_geometry():
+    with pytest.raises(CampaignError):
+        ShardMap(n_shards=0, n_replicas=1)
+    with pytest.raises(CampaignError):
+        ShardMap(n_shards=MAX_SHARDS + 1, n_replicas=1)
+    with pytest.raises(CampaignError):
+        ShardMap(n_shards=2, n_replicas=0)
+
+
+# -------------------------------------------------------- geometry handling
+def test_geometry_persists_and_resolves(tmp_path):
+    root = tmp_path / "store"
+    assert load_geometry(root) is None
+    assert resolve_geometry(root) is None  # plain single-file store
+    requested = resolve_geometry(root, 3, 2)
+    assert requested == ShardMap(n_shards=3, n_replicas=2)
+    save_geometry(root, requested)
+    assert load_geometry(root) == requested
+    # later opens need no flags: serve nodes and queries agree for free
+    assert resolve_geometry(root) == requested
+    assert resolve_geometry(root, 3, 2) == requested
+
+
+def test_geometry_flag_mismatch_refuses_to_misplace(tmp_path):
+    root = tmp_path / "store"
+    save_geometry(root, ShardMap(n_shards=3, n_replicas=2))
+    with pytest.raises(CampaignError, match="rebalance"):
+        resolve_geometry(root, 4, 2)
+    with pytest.raises(CampaignError, match="rebalance"):
+        resolve_geometry(root, None, 3)
+
+
+def test_fabric_refuses_a_plain_root_without_flags(tmp_path):
+    with pytest.raises(ShardUnavailable, match="not a fabric"):
+        FabricStore(tmp_path / "store")
+
+
+# ------------------------------------------------------ replication basics
+def test_put_writes_through_to_every_placement_shard(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=4, n_replicas=2)
+    payloads = _seed(fabric, n=6)
+    for key, payload in payloads.items():
+        assert _holders(fabric, key) == sorted(fabric.map.placement(key))
+        assert fabric.get(key) == payload
+    stats = fabric.stats()
+    assert stats["artifacts"] == 6  # unique keys, not physical copies
+    assert stats["fabric"]["writes"] == 6
+    assert stats["fabric"]["shards"] == 4 and stats["fabric"]["replicas"] == 2
+    assert len(stats["shards"]) == 4
+
+
+def test_rows_deduplicate_replicas(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=3, n_replicas=2)
+    payloads = _seed(fabric, n=6)
+    rows = list(fabric.rows())
+    assert sorted(r.key for r in rows) == sorted(payloads)
+    assert [r.key for r in rows] == [
+        r.key for r in sorted(rows, key=lambda r: (r.created_at, r.key))
+    ]
+
+
+# ----------------------------------------------------------- failover reads
+def test_deleted_shard_db_fails_over_and_read_repairs(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=3, n_replicas=2)
+    payloads = _seed(fabric)
+    key, payload = next(iter(payloads.items()))
+    primary = fabric.map.placement(key)[0]
+    ServiceChaos().delete_shard_db(fabric, primary)
+    # the replica answers; the miss is repaired back onto the primary,
+    # healing its wiped schema along the way
+    assert fabric.get(key) == payload
+    assert fabric.failovers >= 1
+    assert fabric.read_repairs >= 1
+    assert fabric.shards[primary].get(key) == payload
+    # a later read is served by the healed primary without failover
+    failovers = fabric.failovers
+    assert fabric.get(key) == payload
+    assert fabric.failovers == failovers
+
+
+def test_locked_shard_fails_over_to_replica(tmp_path):
+    # short lock timeout: the whole point of replication is to fail over
+    # instead of queueing behind a wedged writer
+    fabric = FabricStore(
+        tmp_path / "store", n_shards=3, n_replicas=2, lock_timeout=0.2
+    )
+    payloads = _seed(fabric)
+    key, payload = next(iter(payloads.items()))
+    primary = fabric.map.placement(key)[0]
+    release = ServiceChaos().lock_shard(fabric, primary)
+    try:
+        assert fabric.get(key) == payload
+        assert fabric.failovers >= 1
+    finally:
+        release()
+    assert fabric.get(key) == payload
+
+
+def test_corrupt_primary_copy_is_quarantined_and_repaired(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=3, n_replicas=2)
+    payloads = _seed(fabric)
+    key, payload = next(iter(payloads.items()))
+    primary = fabric.map.placement(key)[0]
+    assert ServiceChaos().corrupt_shard_copy(fabric, key) is True
+    assert fabric.get(key) == payload  # replica wins, CRC intact
+    assert fabric.read_repairs >= 1
+    # the primary's copy verifies again after read repair
+    assert fabric.shards[primary].get(key) == payload
+
+
+def test_every_replica_corrupt_raises_divergence(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=2, n_replicas=2)
+    payloads = _seed(fabric, n=2)
+    key = next(iter(payloads))
+    chaos = ServiceChaos()
+    for shard_id in fabric.map.placement(key):
+        assert chaos.corrupt_shard_copy(fabric, key, shard_id=shard_id) is True
+    with pytest.raises(ReplicaDivergence):
+        fabric.get(key)
+    # both bad copies were quarantined: the key is now an honest miss,
+    # so the campaign layer recomputes and republishes a trusted copy
+    assert fabric.get(key) is None
+
+
+def test_no_reachable_replica_raises_shard_unavailable(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=2, n_replicas=2)
+    payloads = _seed(fabric, n=2)
+    key = next(iter(payloads))
+    chaos = ServiceChaos()
+    for shard_id in range(2):
+        chaos.delete_shard_db(fabric, shard_id)
+    with pytest.raises(ShardUnavailable):
+        fabric.get(key)
+
+
+def test_partially_replicated_key_degrades_to_a_miss(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=3, n_replicas=2)
+    payloads = _seed(fabric, n=4)
+    key = next(iter(payloads))
+    primary, replica = fabric.map.placement(key)
+    fabric._drop_row(primary, key)  # never replicated here (clean miss)
+    ServiceChaos().delete_shard_db(fabric, replica)  # the copy is unreachable
+    # absent on one shard + unreachable on the other: a miss (recompute
+    # and republish), not a hard failure
+    assert fabric.get(key) is None
+
+
+def test_hedged_read_races_a_wedged_primary(tmp_path):
+    fabric = FabricStore(
+        tmp_path / "store",
+        n_shards=3,
+        n_replicas=2,
+        lock_timeout=1.0,
+        hedge_delay=0.05,
+    )
+    payloads = _seed(fabric)
+    key, payload = next(iter(payloads.items()))
+    primary = fabric.map.placement(key)[0]
+    release = ServiceChaos().lock_shard(fabric, primary)
+    try:
+        t0 = time.monotonic()
+        assert fabric.get(key) == payload
+        # the replica's answer won the race long before the primary's
+        # one-second lock timeout expired
+        assert time.monotonic() - t0 < 1.0
+        assert fabric.hedged >= 1
+        assert fabric.hedge_wins >= 1
+        assert fabric.failovers >= 1
+    finally:
+        release()
+
+
+# ------------------------------------------------------------- anti-entropy
+def test_scrub_restores_full_replication_after_shard_loss(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=3, n_replicas=2)
+    payloads = _seed(fabric, n=9)
+    chaos = ServiceChaos()
+    chaos.delete_shard_db(fabric, 0)
+    other_key = next(
+        k for k in payloads if 0 not in fabric.map.placement(k)
+    )
+    assert chaos.corrupt_shard_copy(fabric, other_key) is True
+    report = fabric.scrub()
+    assert report["keys"] == 9
+    assert report["repaired"] >= 1
+    assert report["lost"] == []
+    assert report["full_replication"] is True
+    # idempotent: a second pass finds nothing to do
+    second = fabric.scrub()
+    assert second["repaired"] == 0 and second["full_replication"] is True
+    # every copy of every key verifies again
+    assert fabric.verify() == []
+    for key, payload in payloads.items():
+        assert _holders(fabric, key) == sorted(fabric.map.placement(key))
+        assert fabric.get(key) == payload
+
+
+def test_scrub_replaces_stranded_copies(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=3, n_replicas=2)
+    payloads = _seed(fabric, n=3)
+    key = next(iter(payloads))
+    stray = next(
+        s for s in range(3) if s not in fabric.map.placement(key)
+    )
+    fabric.shards[stray].put("report", key, payloads[key], design="facet")
+    report = fabric.scrub()
+    assert report["replaced"] == 1
+    assert report["full_replication"] is True
+    assert _holders(fabric, key) == sorted(fabric.map.placement(key))
+
+
+def test_scrub_reports_lost_keys(tmp_path):
+    fabric = FabricStore(tmp_path / "store", n_shards=2, n_replicas=1)
+    payloads = _seed(fabric, n=4)
+    key = next(iter(payloads))
+    # single-replica fabric: corrupting the only copy loses the key
+    assert ServiceChaos().corrupt_shard_copy(fabric, key) is True
+    report = fabric.scrub()
+    assert key in report["lost"]
+    assert report["full_replication"] is False
+
+
+# --------------------------------------------------- rebalance + conversion
+def test_rebalance_migrates_every_key_to_the_new_geometry(tmp_path):
+    root = tmp_path / "store"
+    fabric = FabricStore(root, n_shards=2, n_replicas=2)
+    payloads = _seed(fabric, n=10)
+    info = fabric.rebalance(4, 2)
+    assert info["keys"] == 10
+    assert load_geometry(root) == ShardMap(n_shards=4, n_replicas=2)
+    for key, payload in payloads.items():
+        assert fabric.get(key) == payload
+        assert _holders(fabric, key) == sorted(fabric.map.placement(key))
+    assert fabric.scrub()["full_replication"] is True
+    # a later flag-less open sees the new geometry
+    reopened = FabricStore(root)
+    assert reopened.map == ShardMap(n_shards=4, n_replicas=2)
+    assert reopened.get(next(iter(payloads))) is not None
+
+
+def test_convert_legacy_single_file_store(tmp_path):
+    root = tmp_path / "store"
+    legacy = ArtifactStore(root)
+    keys = _keys(5)
+    for i, key in enumerate(keys):
+        legacy.put("report", key, {"n": i}, design="facet")
+    fabric, info = FabricStore.convert(root, 3, 2)
+    assert info["migrated"] == 5
+    assert load_geometry(root) == ShardMap(n_shards=3, n_replicas=2)
+    for i, key in enumerate(keys):
+        assert fabric.get(key) == {"n": i}
+        assert _holders(fabric, key) == sorted(fabric.map.placement(key))
+    # the legacy index is left in place (delete once satisfied), but a
+    # fresh open is fabric-shaped from now on
+    assert (root / "index.db").exists()
+    assert CampaignStore(root).is_fabric
+
+
+# --------------------------------------------------- campaign-cache bridge
+def test_campaign_store_autodetects_fabric_roots(tmp_path):
+    root = tmp_path / "store"
+    store = CampaignStore(root, shards=3, replicas=2)
+    assert store.is_fabric
+    key = _keys(1)[0]
+    assert store.publish("report", key, {"design": "facet"}, design="facet")
+    # reopened without flags: fabric.json is the source of truth
+    warm = CampaignStore(root)
+    assert warm.is_fabric
+    assert warm.lookup("report", key) == {"design": "facet"}
+    assert not CampaignStore(tmp_path / "plain").is_fabric
+
+
+def test_campaign_store_degrades_divergence_to_violation(tmp_path):
+    store = CampaignStore(tmp_path / "store", shards=2, replicas=2)
+    key = _keys(1)[0]
+    store.publish("report", key, {"design": "facet"}, design="facet")
+    chaos = ServiceChaos()
+    for shard_id in store.artifacts.map.placement(key):
+        assert chaos.corrupt_shard_copy(store.artifacts, key, shard_id=shard_id)
+    assert store.lookup("report", key) is None  # miss, not a crash
+    assert store.violations and store.violations[0].check == STORE_CORRUPT_CHECK
+
+
+def test_campaign_store_degrades_unavailable_fabric_to_miss(tmp_path):
+    store = CampaignStore(tmp_path / "store", shards=2, replicas=2)
+    key = _keys(1)[0]
+    store.publish("report", key, {"design": "facet"}, design="facet")
+    chaos = ServiceChaos()
+    for shard_id in range(2):
+        chaos.delete_shard_db(store.artifacts, shard_id)
+    assert store.lookup("report", key) is None
+    assert store.violations == []  # unavailability is not corruption
+
+
+# --------------------------------------- gc/verify vs publish (shared lock)
+def test_reader_lock_blocks_writers_for_the_whole_pass(tmp_path):
+    store = ArtifactStore(tmp_path / "store", lock_timeout=0.1)
+    store.put("report", _keys(1)[0], {"n": 0})
+    with store.reader():
+        # a publish cannot land mid-verify: the maintenance pass owns
+        # the store until it releases the shared lock
+        with pytest.raises(StoreLockError):
+            store.put("report", _keys(2)[1], {"n": 1})
+        # and gc (an exclusive whole-pass writer) cannot start either
+        with pytest.raises(StoreLockError):
+            store.gc()
+
+
+def test_reader_locks_are_shared(tmp_path):
+    store = ArtifactStore(tmp_path / "store", lock_timeout=0.1)
+    store.put("report", _keys(1)[0], {"n": 0})
+    with store.reader():
+        with store.reader():  # two scrubbers/verifiers coexist
+            assert store.verify() == []
+
+
+def test_writer_lock_blocks_scrub_readers(tmp_path):
+    store = ArtifactStore(tmp_path / "store", lock_timeout=0.1)
+    with store.writer():
+        with pytest.raises(StoreLockError):
+            with store.reader():
+                pass  # pragma: no cover - the acquire raises
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_creates_scrubs_and_rebalances_a_fabric(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    store = CampaignStore(root, shards=3, replicas=2)
+    for i, key in enumerate(_keys(4)):
+        store.publish("report", key, {"n": i}, design="facet")
+
+    assert main(["--store-dir", root, "store", "stats"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["fabric"]["shards"] == 3 and stats["artifacts"] == 4
+
+    ServiceChaos().delete_shard_db(store.artifacts, 1)
+    assert main(["--store-dir", root, "store", "scrub"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["full_replication"] is True
+
+    assert main(["--store-dir", root, "--shards", "4", "--replicas", "2",
+                 "store", "rebalance"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["converted"] is False and out["keys"] == 4
+    assert load_geometry(root) == ShardMap(n_shards=4, n_replicas=2)
+
+
+def test_cli_scrub_requires_a_fabric(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    ArtifactStore(root).put("report", _keys(1)[0], {"n": 0})
+    assert main(["--store-dir", root, "store", "scrub"]) == 2
+    assert "rebalance" in capsys.readouterr().err
+
+
+def test_cli_rebalance_converts_a_legacy_store(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    legacy = ArtifactStore(root)
+    for i, key in enumerate(_keys(3)):
+        legacy.put("report", key, {"n": i}, design="facet")
+    assert main(["--store-dir", root, "--shards", "3",
+                 "store", "rebalance"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["converted"] is True and out["migrated"] == 3
+    assert CampaignStore(root).is_fabric
+
+
+# ----------------------------------------------- kill-a-node (acceptance)
+def _report(design: str, threshold: float) -> dict:
+    return {
+        "schema": 1,
+        "command": "grade",
+        "design": design,
+        "params": {},
+        "counts": {"SFR": 1},
+        "table2": {"design": design, "total_faults": 2,
+                   "sfr_faults": 1, "pct_sfr": 50.0},
+        "faults": [
+            {"fault": "1:out:5:0", "site": "g1", "category": "SFR",
+             "quarantined": False},
+        ],
+        "grading": {
+            "fault_free_uw": 100.0,
+            "threshold": threshold,
+            "summary": {},
+            "figure7": [],
+            "graded": [],
+        },
+    }
+
+
+def _spawn_serve(root: Path) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-c",
+            "from repro.cli import main; raise SystemExit(main())",
+            "--store-dir", str(root),
+            "serve", "--port", "0", "--no-compute",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"on (http://[0-9.]+:\d+)", line)
+    assert match, f"serve did not announce its address: {line!r}"
+    return proc, match.group(1)
+
+
+def _raw_get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.read()
+
+
+def _wait_ready(base: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if json.loads(_raw_get(f"{base}/readyz")).get("ready"):
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError(f"{base} never became ready")
+
+
+def test_kill_a_node_zero_failures_bit_identical(tmp_path):
+    """The issue's acceptance scenario: two serve nodes over one
+    3-shard/2-replica fabric; one node is SIGKILLed mid-campaign and one
+    shard database is destroyed, yet the multi-endpoint client sees zero
+    failed requests and byte-identical result bodies throughout, and a
+    scrub reports the fabric back at full replication."""
+    root = tmp_path / "store"
+    store = CampaignStore(root, shards=3, replicas=2)
+    key = digest({"design": "facet", "threshold": 0.05})
+    store.publish("report", key, _report("facet", 0.05), design="facet",
+                  meta={"command": "grade"})
+
+    procs = []
+    try:
+        node_a, base_a = _spawn_serve(root)
+        procs.append(node_a)
+        node_b, base_b = _spawn_serve(root)
+        procs.append(node_b)
+        _wait_ready(base_a)
+        _wait_ready(base_b)
+
+        client = StoreClient(
+            [base_a, base_b], timeout=10, backoff=0.05, jitter=0.0
+        )
+        url = "campaigns/facet?threshold=0.05"
+        before = json.dumps(
+            client.request(url), indent=2, allow_nan=False
+        ).encode()
+        assert json.loads(before)["design"] == "facet"
+
+        node_a.kill()  # SIGKILL, mid-campaign: no drain, no goodbye
+        node_a.wait(timeout=10)
+        for _ in range(5):
+            after = json.dumps(
+                client.request(url), indent=2, allow_nan=False
+            ).encode()
+            assert after == before  # bit-identical across the failover
+
+        # byte-level check straight off the surviving node's socket
+        assert _raw_get(f"{base_b}/{url}") == before
+
+        # now lose a shard out from under the survivor: the fabric
+        # fails over to the replica and the request still succeeds
+        fabric = FabricStore(root)
+        primary = fabric.map.placement(key)[0]
+        ServiceChaos().delete_shard_db(fabric, primary)
+        assert _raw_get(f"{base_b}/{url}") == before
+
+        # the fabric endpoint on the survivor reports the topology
+        topo = json.loads(_raw_get(f"{base_b}/fabric"))
+        assert topo["shards"] == 3 and topo["replicas"] == 2
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+
+    # anti-entropy on restart: the scrubbed fabric is whole again
+    assert main(["--store-dir", str(root), "store", "scrub"]) == 0
+    assert FabricStore(root).scrub()["full_replication"] is True

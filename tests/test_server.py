@@ -41,6 +41,23 @@ from repro.testing.chaos import ServiceChaos
 
 
 # ----------------------------------------------------------------- helpers
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.01,
+                message: str = "condition") -> None:
+    """Bounded poll: the event-based replacement for fixed sleeps.
+
+    Every cross-thread synchronization in this file waits on an
+    observable condition (a ``/stats`` counter, an in-flight count)
+    instead of a magic sleep, so the suite is immune to scheduler
+    jitter on loaded CI machines.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout}s waiting for {message}")
+
+
 def _report(design: str, threshold: float) -> dict:
     return {
         "schema": 1,
@@ -130,14 +147,21 @@ def served(tmp_path):
 def test_stampede_coalesces_to_one_compute(served):
     counts: dict = {}
     store_holder = []
+    service_holder = []
 
     def compute(design, threshold):
-        time.sleep(0.2)  # long enough for every rider to attach
+        # hold the job open until every rider has provably attached, so
+        # the one-compute assertion cannot race the request threads
+        _wait_until(
+            lambda: service_holder[0].stats()["service"]["coalesced"] >= 7,
+            message="all riders coalesced",
+        )
         counts[design] = counts.get(design, 0) + 1
         return _publish(store_holder[0], design, threshold)
 
     base, store, service = served(compute=compute, queue_depth=8)
     store_holder.append(store)
+    service_holder.append(service)
 
     results = []
 
@@ -168,7 +192,7 @@ def test_cached_reads_not_blocked_by_compute(served):
         release.wait(timeout=10)
         return _publish(store_holder[0], design, threshold)
 
-    base, store, _ = served(compute=compute)
+    base, store, service = served(compute=compute)
     store_holder.append(store)
     _publish(store, "facet", 0.05)
 
@@ -176,7 +200,10 @@ def test_cached_reads_not_blocked_by_compute(served):
         target=_fetch, args=(f"{base}/campaigns/diffeq",), daemon=True
     )
     slow.start()
-    time.sleep(0.05)  # let the compute job start and hold its worker
+    _wait_until(
+        lambda: service.stats()["service"]["in_flight"] >= 1,
+        message="compute job admitted",
+    )
     t0 = time.monotonic()
     status, report, _, _ = _fetch(f"{base}/campaigns/facet")
     elapsed = time.monotonic() - t0
@@ -202,10 +229,11 @@ def test_backpressure_503_with_retry_after(served):
         target=_fetch, args=(f"{base}/campaigns/facet",), daemon=True
     )
     first.start()
-    deadline = time.monotonic() + 5
-    while service.stats()["service"]["in_flight"] < 1:
-        assert time.monotonic() < deadline, "first job never admitted"
-        time.sleep(0.01)
+    _wait_until(
+        lambda: service.stats()["service"]["in_flight"] >= 1,
+        timeout=5,
+        message="first job admitted",
+    )
 
     status, body, _, headers = _fetch(f"{base}/campaigns/diffeq")
     assert status == 503
@@ -252,10 +280,11 @@ def test_deadline_504_quarantine_and_slot_reclaim(served):
 
     # the stray attempt eventually finishes, publishes and clears quarantine
     hung.set()
-    deadline = time.monotonic() + 5
-    while service.stats()["service"]["quarantined"]:
-        assert time.monotonic() < deadline, "quarantine never cleared"
-        time.sleep(0.02)
+    _wait_until(
+        lambda: not service.stats()["service"]["quarantined"],
+        timeout=5,
+        message="quarantine cleared",
+    )
     status, report, _, _ = _fetch(f"{base}/campaigns/poly")
     assert status == 200 and report["design"] == "poly"
 
@@ -318,7 +347,10 @@ def test_graceful_drain_finishes_in_flight_then_refuses(tmp_path):
         target=lambda: results.append(service.campaign("facet", 0.05)), daemon=True
     )
     t.start()
-    time.sleep(0.05)  # the job is in flight
+    _wait_until(
+        lambda: service.stats()["service"]["in_flight"] >= 1,
+        message="job in flight",
+    )
     assert service.drain(grace=10.0) is True
     t.join(timeout=5)
     assert results and results[0]["design"] == "facet"  # in-flight finished
@@ -457,7 +489,7 @@ def test_upload_endpoint(served):
 
 # ------------------------------------------------------------------ client
 class _ScriptedHandler(BaseHTTPRequestHandler):
-    script: list  # (status, payload, headers) consumed per request
+    script: list  # (status, payload, headers[, delay_s]) consumed per request
     hits: list
 
     def log_message(self, fmt, *args):
@@ -465,9 +497,12 @@ class _ScriptedHandler(BaseHTTPRequestHandler):
 
     def do_GET(self):
         self.hits.append(self.path)
-        status, payload, headers = (
-            self.script.pop(0) if self.script else (200, {"ok": True}, {})
-        )
+        entry = self.script.pop(0) if self.script else (200, {"ok": True}, {})
+        if len(entry) == 4:
+            status, payload, headers, delay = entry
+            time.sleep(delay)
+        else:
+            status, payload, headers = entry
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -539,6 +574,215 @@ def test_client_retries_connection_failures_then_raises():
         client.healthz()
     assert client.attempts == 3
     assert naps == [0.25, 0.5]  # exponential backoff between attempts
+
+
+# --------------------------------------------------- client multi-endpoint
+#: an endpoint that refuses connections instantly (port 9 is discard/unused)
+DEAD_ENDPOINT = "http://127.0.0.1:9"
+
+
+def test_client_fails_over_to_second_endpoint_without_backoff(scripted_server):
+    """A dead first endpoint costs one connect attempt inside the round --
+    never a sleep, never a request failure."""
+    base, handler = scripted_server([(200, {"design": "facet"}, {})])
+    naps: list[float] = []
+    client = StoreClient(
+        [DEAD_ENDPOINT, base], timeout=0.5, jitter=0.0, sleep=naps.append
+    )
+    assert client.campaign("facet") == {"design": "facet"}
+    assert naps == []  # failover is immediate, backoff is between rounds
+    assert client.attempts == 2 and len(handler.hits) == 1
+    assert client.failovers == 1
+
+
+def test_client_failover_ordering_on_retryable_http_error(scripted_server):
+    """A retryable 503 from the first endpoint fails over in-round; the
+    answering endpoint is the next one in declaration order."""
+    overloaded = {"error": "ServiceOverloaded", "message": "full", "retryable": True}
+    base_a, handler_a = scripted_server([(503, overloaded, {})])
+    base_b, handler_b = scripted_server([(200, {"design": "facet"}, {})])
+    naps: list[float] = []
+    client = StoreClient([base_a, base_b], jitter=0.0, sleep=naps.append)
+    assert client.campaign("facet") == {"design": "facet"}
+    assert naps == []
+    assert [len(handler_a.hits), len(handler_b.hits)] == [1, 1]
+    assert client.failovers == 1
+
+
+def test_client_terminal_error_never_fails_over(scripted_server):
+    """A 400 is the same answer from every replica: raise immediately,
+    second endpoint untouched, no endpoint blamed."""
+    bad = {"error": "InputValidationError", "message": "nope", "retryable": False}
+    base_a, handler_a = scripted_server([(400, bad, {})])
+    base_b, handler_b = scripted_server([])
+    client = StoreClient([base_a, base_b], sleep=lambda s: None)
+    with pytest.raises(RemoteStoreError) as exc_info:
+        client.campaign("facet")
+    assert exc_info.value.status == 400
+    assert client.attempts == 1
+    assert len(handler_a.hits) == 1 and len(handler_b.hits) == 0
+    assert client.endpoint_state()[base_a]["consecutive_failures"] == 0
+
+
+def test_client_circuit_breaker_skips_dead_endpoint_then_probes(scripted_server):
+    """cb_threshold consecutive failures open a dead endpoint's circuit
+    (it stops being tried at all); after cb_cooldown it is probed again."""
+    base, handler = scripted_server([(200, {"n": i}, {}) for i in range(8)])
+    now = [1000.0]
+    client = StoreClient(
+        [DEAD_ENDPOINT, base],
+        timeout=0.5,
+        jitter=0.0,
+        cb_threshold=2,
+        cb_cooldown=30.0,
+        sleep=lambda s: None,
+        clock=lambda: now[0],
+    )
+    client.request("stats")  # dead fails (1/2), failover
+    client.request("stats")  # dead fails (2/2) -> circuit opens
+    assert client.endpoint_state()[DEAD_ENDPOINT]["open"] is True
+    attempts_before = client.attempts
+    client.request("stats")  # dead endpoint skipped entirely
+    assert client.attempts == attempts_before + 1  # only the live endpoint
+    now[0] += 31.0  # cool-down elapses
+    assert client.endpoint_state()[DEAD_ENDPOINT]["open"] is False
+    attempts_before = client.attempts
+    client.request("stats")  # dead endpoint probed again, fails, failover
+    assert client.attempts == attempts_before + 2
+    assert len(handler.hits) == 4
+
+
+def test_client_all_circuits_open_still_probes(scripted_server):
+    """When every endpoint's circuit is open the client half-opens all of
+    them rather than failing a request without a single attempt."""
+    base, handler = scripted_server([(200, {"ok": True}, {})])
+    now = [0.0]
+    client = StoreClient(
+        [base], cb_threshold=1, cb_cooldown=60.0, clock=lambda: now[0],
+        sleep=lambda s: None,
+    )
+    client._note_fail(base.rstrip("/"))  # trip the only endpoint's breaker
+    assert client.endpoint_state()[base.rstrip("/")]["open"] is True
+    assert client.request("stats") == {"ok": True}  # half-open probe served
+
+
+def test_client_hedged_get_winner_selection(scripted_server):
+    """With hedge_delay set, a slow first endpoint is raced against the
+    next replica and the fastest good answer wins."""
+    base_slow, handler_slow = scripted_server([(200, {"who": "slow"}, {}, 1.0)])
+    base_fast, handler_fast = scripted_server([(200, {"who": "fast"}, {})])
+    client = StoreClient(
+        [base_slow, base_fast], hedge_delay=0.05, sleep=lambda s: None
+    )
+    assert client.request("stats") == {"who": "fast"}
+    assert client.hedged == 1 and client.hedge_wins == 1 and client.failovers == 1
+    assert len(handler_fast.hits) == 1
+
+
+def test_client_single_endpoint_base_url_compat():
+    client = StoreClient("http://127.0.0.1:8357/")
+    assert client.base_url == "http://127.0.0.1:8357"
+    assert client.endpoints == ["http://127.0.0.1:8357"]
+
+
+# ------------------------------------------------------- worker supervisor
+#: WorkerKilled escaping the worker loop IS the scenario under test --
+#: pytest's unhandled-thread-exception watchdog must not flag it.
+_lets_threads_die = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+
+@_lets_threads_die
+def test_supervisor_restarts_killed_workers_and_requeues(tmp_path):
+    """A worker thread dying mid-claim loses nothing: the supervisor
+    requeues the claimed job, restarts the worker, and the original
+    request is served as if nothing happened."""
+    store = CampaignStore(tmp_path / "store")
+    chaos = ServiceChaos(kill_worker=("facet",), kill_attempts=2)
+    service = CampaignService(
+        store,
+        compute=_publishing_compute(store),
+        workers=2,
+        on_job=chaos.on_job,
+        supervise_interval=0.02,
+        restart_backoff=0.005,
+        crash_budget=10,
+    ).start()
+    try:
+        report = service.campaign("facet", 0.05)
+        assert report["design"] == "facet"
+        assert chaos.workers_killed == 2
+        stats = service.stats()["service"]
+        assert stats["worker_crashes"] == 2
+        assert stats["requeued_jobs"] == 2
+        _wait_until(
+            lambda: service.stats()["service"]["workers_alive"] == 2,
+            message="pool back to full strength",
+        )
+        # both dead workers were replaced (restarts, not the initial pool)
+        assert service.stats()["service"]["worker_restarts"] >= 2
+    finally:
+        service.stop()
+
+
+@_lets_threads_die
+def test_crash_budget_breaker_degrades_to_cache_only_then_recovers(tmp_path):
+    store = CampaignStore(tmp_path / "store")
+    _publish(store, "facet", 0.05)  # warm cache survives the outage
+    chaos = ServiceChaos(kill_worker=("diffeq",), kill_attempts=99)
+    service = CampaignService(
+        store,
+        compute=_publishing_compute(store),
+        workers=2,
+        on_job=chaos.on_job,
+        supervise_interval=0.02,
+        restart_backoff=0.005,
+        crash_budget=3,
+        crash_window=30.0,
+        pool_cooldown=60.0,  # long: the down state stays stable under asserts
+    ).start()
+    try:
+        # a poisonous miss keeps killing workers until the budget trips
+        miss = threading.Thread(
+            target=lambda: _swallow(service, "diffeq"), daemon=True
+        )
+        miss.start()
+        _wait_until(
+            lambda: service.stats()["service"]["cache_only"],
+            message="crash budget tripped",
+        )
+        # cache-only mode: warm traffic serves, misses get a typed 503
+        assert service.campaign("facet", 0.05)["design"] == "facet"
+        with pytest.raises(ServiceOverloaded, match="pool is down"):
+            service.campaign("poly", 0.05)
+        assert service.stats()["service"]["rejected_pool_down"] >= 1
+        # degraded but *ready*: the node stays in rotation for its cache
+        ok, detail = service.ready()
+        assert ok is True and detail["cache_only"] is True
+        # stop the killing and collapse the cool-down (waiting out a
+        # realistic one would be a wall-clock sleep, the thing this suite
+        # bans); the supervisor's next heartbeat half-opens the breaker
+        service.on_job = None
+        with service._lock:
+            service._pool_down_until = 0.0
+        _wait_until(
+            lambda: (
+                not service.stats()["service"]["cache_only"]
+                and service.stats()["service"]["workers_alive"] == 2
+            ),
+            message="pool recovered after cool-down",
+        )
+        assert service.campaign("poly", 0.05)["design"] == "poly"
+    finally:
+        service.stop()
+
+
+def _swallow(service, design):
+    try:
+        service.campaign(design, 0.05)
+    except Exception:
+        pass
 
 
 def test_client_against_real_server(served):
