@@ -230,3 +230,77 @@ def test_parallel_scaling(systems, pipelines, save_result, save_json, tmp_path):
     lines += ["", "all rows bit-identical to the n_jobs=1 baseline"]
     save_result("parallel", "\n".join(lines))
     save_json("parallel", metrics)
+
+
+#: per-design dirty-fraction ceilings for a single-gate restructure; the
+#: CI replay job asserts the diffeq one independently (see ci.yml)
+DIRTY_CEILING = {"diffeq": 0.25, "ewf": 0.25, "biquad": 0.25}
+
+
+def test_incremental_replay(save_result, save_json, tmp_path):
+    """Cold vs incremental wall time after a one-gate edit, per design.
+
+    For each design: publish a cold campaign, apply a scripted
+    behavior-preserving restructure (AND -> NAND+NOT), rerun with the
+    original netlist as ``--baseline`` and record the wall-clock ratio
+    plus the dirty fraction the planner actually re-simulated.  Appends
+    an ``incremental`` section to ``BENCH_parallel.json`` (the scaling
+    test writes the rest of the file first).
+    """
+    import json as _json
+
+    from repro.core.pipeline import PipelineConfig, run_pipeline
+    from repro.designs.catalog import cached_system
+    from repro.incremental import edit_system_controller, pick_editable_gate
+
+    from conftest import RESULTS
+
+    cfg = PipelineConfig(n_patterns=PATTERNS)
+    rows = {}
+    lines = ["incremental replay (one-gate restructure edit)", ""]
+    for name in ("diffeq", "ewf", "biquad"):
+        system = cached_system(name)
+        store_root = tmp_path / f"store-{name}"
+        t0 = time.perf_counter()
+        run_pipeline(system, cfg, store=CampaignStore(store_root))
+        cold_s = time.perf_counter() - t0
+        edited = edit_system_controller(
+            system, pick_editable_gate(system, "restructure"), "restructure"
+        )
+        t0 = time.perf_counter()
+        inc = run_pipeline(
+            edited,
+            cfg,
+            store=CampaignStore(store_root),
+            baseline=system.netlist,
+        )
+        inc_s = time.perf_counter() - t0
+        assert inc.incremental is not None, f"{name}: planner never engaged"
+        fraction = inc.incremental["dirty_fraction"]
+        assert fraction < DIRTY_CEILING[name], (
+            f"{name}: dirty fraction {fraction:.3f} over the "
+            f"{DIRTY_CEILING[name]:.2f} ceiling"
+        )
+        assert inc.campaign.replayed > 0
+        rows[name] = {
+            "cold_wall_s": cold_s,
+            "incremental_wall_s": inc_s,
+            "speedup": cold_s / inc_s if inc_s else None,
+            "faults": inc.incremental["faults"],
+            "dirty": inc.incremental["dirty"],
+            "dirty_fraction": fraction,
+            "region_equivalent": inc.incremental["region_equivalent"],
+        }
+        lines.append(
+            f"  {name:<8} cold {cold_s:>7.2f}s -> incremental {inc_s:>6.2f}s "
+            f"({cold_s / inc_s:>5.1f}x), dirty {rows[name]['dirty']}/"
+            f"{rows[name]['faults']} ({fraction:.1%})"
+        )
+
+    path = RESULTS / "BENCH_parallel.json"
+    metrics = _json.loads(path.read_text()) if path.exists() else {
+        "bench": "parallel"
+    }
+    metrics["incremental"] = {"patterns": PATTERNS, "designs": rows}
+    save_json("parallel", metrics)
+    save_result("incremental_replay", "\n".join(lines))

@@ -251,10 +251,17 @@ def _result_report(
         mc_campaign_params,
     )
 
+    from .core.checkpoint import fault_key
+
+    # The fault list pins the campaign identity: fingerprints are
+    # permutation-invariant (v2), but report payloads carry index-based
+    # fault keys, so two permuted-but-identical netlists must not alias
+    # each other's cached reports.
     params: dict = {
         "command": command,
         "design": result.design,
         "pipeline": config.fingerprint_params(),
+        "faults": [fault_key(r.system_site) for r in result.records],
     }
     if grading is not None:
         params["threshold"] = grading.threshold
@@ -301,6 +308,39 @@ def _build(args):
     )
 
 
+def _baseline_spec(args, system):
+    """Turn ``--baseline`` into what :func:`run_pipeline` accepts.
+
+    A design name from the catalog resolves to that design's netlist
+    (built with this invocation's width/encoding/output-style knobs);
+    fingerprints, payload paths and ``auto`` pass through to
+    :func:`~repro.incremental.replay.resolve_baseline`.
+    """
+    spec = getattr(args, "baseline", None)
+    if not spec:
+        return None
+    if spec != system.rtl.name and spec in design_names():
+        other = cached_system(
+            spec,
+            width=args.width,
+            encoding_kind=args.encoding,
+            output_style=args.output_style,
+        )
+        return other.netlist
+    return spec
+
+
+def _print_incremental(result) -> None:
+    inc = getattr(result, "incremental", None)
+    if inc:
+        print(
+            f"incremental: {inc['reusable']}/{inc['faults']} faults replayed "
+            f"from baseline {inc['baseline']} "
+            f"(dirty fraction {inc['dirty_fraction']:.1%}, "
+            f"region: {inc['region_reason']})"
+        )
+
+
 def _config(args) -> PipelineConfig:
     return PipelineConfig(
         n_patterns=args.patterns,
@@ -320,8 +360,11 @@ def _cmd_classify(args) -> int:
     system = _build(args)
     store = _store(args)
     config = _config(args)
-    result = run_pipeline(system, config, store=store)
+    result = run_pipeline(
+        system, config, store=store, baseline=_baseline_spec(args, system)
+    )
     _print_campaign(result.campaign, "fault-sim campaign")
+    _print_incremental(result)
     report = _result_report(store, system, config, result, command="classify")
     _print_store(store)
     _write_result_json(args, report)
@@ -343,13 +386,36 @@ def _cmd_grade(args) -> int:
     system = _build(args)
     store = _store(args)
     config = _config(args)
-    result = run_pipeline(system, config, store=store)
+    result = run_pipeline(
+        system, config, store=store, baseline=_baseline_spec(args, system)
+    )
     _print_campaign(result.campaign, "fault-sim campaign")
+    _print_incremental(result)
     chaos_engine = None
     if args.chaos:
         from .testing.chaos import ChaosEngine
 
         chaos_engine = ChaosEngine.from_spec(args.chaos)
+    seeds = None
+    if store is not None and result.incremental_plan is not None:
+        from .incremental.replay import grading_seed_results
+        from .power.montecarlo import (
+            MC_DEFAULT_BATCH_PATTERNS,
+            MC_DEFAULT_ITERATIONS_WINDOW,
+            MC_DEFAULT_MAX_BATCHES,
+            MC_DEFAULT_SEED,
+        )
+
+        seeds = grading_seed_results(
+            store,
+            result.incremental_plan,
+            result.design,
+            [r.system_site for r in result.sfr_records],
+            MC_DEFAULT_SEED,
+            MC_DEFAULT_BATCH_PATTERNS,
+            MC_DEFAULT_MAX_BATCHES,
+            MC_DEFAULT_ITERATIONS_WINDOW,
+        )
     grading = grade_sfr_faults(
         system,
         result,
@@ -365,6 +431,7 @@ def _cmd_grade(args) -> int:
         store=store,
         batched=args.batched_grading,
         cone_power=args.cone_power,
+        seed_results=seeds,
     )
     _print_campaign(grading.campaign, "grading campaign")
     report = _result_report(store, system, config, result, grading, command="grade")
@@ -381,6 +448,36 @@ def _cmd_grade(args) -> int:
         f"\ndetected by power test: {s['select_detected']}/{s['n_select_only']} "
         f"select-only, {s['load_detected']}/{s['n_load']} load-line"
     )
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    """Structural delta + projected dirty fraction, without simulating."""
+    from .core.pipeline import controller_fault_universe
+    from .incremental.replay import project_dirty, resolve_baseline
+    from .store.fingerprint import netlist_payload
+
+    system = _build(args)
+    store = _store(args)
+    fp = netlist_fingerprint(system.netlist)
+    if args.dump:
+        with open(args.dump, "w", encoding="utf-8") as f:
+            json.dump(netlist_payload(system.netlist), f)
+        print(f"wrote netlist payload to {args.dump}")
+    if not args.baseline:
+        print(f"design {args.design}: fingerprint {fp}")
+        print("no --baseline given; nothing to diff")
+        return 0
+    base = resolve_baseline(
+        store, _baseline_spec(args, system), design=system.rtl.name, exclude_fp=fp
+    )
+    if base is None:
+        print("error: could not resolve --baseline", file=sys.stderr)
+        return 2
+    universe = controller_fault_universe(system)
+    sites = [system.to_system_fault(s) for s in universe]
+    _delta, _region, summary = project_dirty(base, system, sites)
+    print(json.dumps(summary, indent=2, allow_nan=False))
     return 0
 
 
@@ -406,7 +503,9 @@ def _compute_campaign(args, store: CampaignStore, design: str, threshold: float)
         output_style=args.output_style,
     )
     config = _config(args)
-    result = run_pipeline(system, config, store=store)
+    # "auto" replays from the most recent published version of this
+    # design, so a near-duplicate upload hits warm per-fault entries.
+    result = run_pipeline(system, config, store=store, baseline="auto")
     grading = grade_sfr_faults(
         system,
         result,
@@ -800,14 +899,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    baseline_help = (
+        "replay unaffected faults from an earlier design version: a "
+        "published netlist fingerprint, a netlist-payload JSON path "
+        "(see 'diff --dump'), a catalog design name, or 'auto' for the "
+        "most recently published version of this design (needs --store-dir)"
+    )
+
     p = sub.add_parser("classify", help="run the Section-5 classification pipeline")
     p.add_argument("design", choices=design_names())
+    p.add_argument("--baseline", default=None, help=baseline_help)
     p.set_defaults(func=_cmd_classify)
 
     p = sub.add_parser("grade", help="classify + Monte-Carlo power grading")
     p.add_argument("design", choices=design_names())
     p.add_argument("--threshold", type=_fraction_arg, default=0.05)
+    p.add_argument("--baseline", default=None, help=baseline_help)
     p.set_defaults(func=_cmd_grade)
+
+    p = sub.add_parser(
+        "diff",
+        help="diff a design against a baseline and project the dirty fraction",
+    )
+    p.add_argument("design", choices=design_names())
+    p.add_argument("--baseline", default=None, help=baseline_help)
+    p.add_argument(
+        "--dump",
+        default=None,
+        metavar="PATH",
+        help="also write this design's netlist payload JSON (a portable "
+        "--baseline input) to PATH",
+    )
+    p.set_defaults(func=_cmd_diff)
 
     p = sub.add_parser("table2", help="Table 2 for all designs")
     p.set_defaults(func=_cmd_table2)

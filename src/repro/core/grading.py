@@ -191,6 +191,7 @@ def grade_sfr_faults(
     store: CampaignStore | None = None,
     batched: bool = True,
     cone_power: bool = True,
+    seed_results: dict[str, "MonteCarloResult"] | None = None,
 ) -> GradingResult:
     """Monte-Carlo grade every SFR fault of a pipeline result.
 
@@ -232,6 +233,13 @@ def grade_sfr_faults(
     persistent store (bit-identical grades, no simulation); a freshly
     computed campaign is published back only when its report is free of
     integrity violations, and the crash-recovery journal is then retired.
+
+    ``seed_results`` optionally pre-loads per-fault Monte-Carlo results
+    (keyed by campaign fault key, baseline included) computed elsewhere,
+    e.g. replayed from a structurally-identical baseline campaign by the
+    incremental planner (see :mod:`repro.incremental`).  Journal entries
+    win over seeds; seeded faults are counted as ``resumed`` and skip
+    simulation bit-identically to a journal replay.
     """
     validate_netlist(system.netlist)
     if not 0 < threshold < 1:
@@ -302,6 +310,11 @@ def grade_sfr_faults(
             mc_by_key = {
                 k: MonteCarloResult.from_json_dict(v) for k, v in journal.done.items()
             }
+        if seed_results:
+            valid = set(sfr_keys) | {_BASELINE_KEY}
+            for k, v in seed_results.items():
+                if k in valid:
+                    mc_by_key.setdefault(k, v)
         todo = [r for r in records if fault_key(r.system_site) not in mc_by_key]
         report = RunReport(n_items=len(records), resumed=len(records) - len(todo))
 

@@ -108,6 +108,9 @@ class RunReport:
     #: items skipped because a checkpoint already held their results
     #: (filled by the campaign layer, not by the executor)
     resumed: int = 0
+    #: items replayed from per-fault store entries by the incremental
+    #: planner (filled by the pipeline layer; see :mod:`repro.incremental`)
+    replayed: int = 0
     chunks: list[ChunkOutcome] = field(default_factory=list)
     #: faults re-evaluated on an independent path by the integrity layer
     #: (filled by the campaign layer; see :mod:`repro.core.integrity`)

@@ -126,6 +126,7 @@ def campaign_summary_row(report: RunReport) -> dict:
         "faults": report.n_items,
         "computed": report.completed,
         "resumed": report.resumed,
+        "replayed": report.replayed,
         "chunks": report.n_chunks,
         "retries": report.retries,
         "timeouts": report.timeouts,
@@ -148,6 +149,8 @@ def render_campaign_summary(report: RunReport, title: str = "campaign") -> str:
     parts = [f"{report.completed} fault{'s' if report.completed != 1 else ''} computed"]
     if report.resumed:
         parts.append(f"{report.resumed} resumed from checkpoint")
+    if report.replayed:
+        parts.append(f"{report.replayed} replayed from per-fault store entries")
     if report.retries:
         parts.append(f"{report.retries} chunk retries")
     if report.timeouts:

@@ -1,0 +1,261 @@
+"""Per-collapsed-fault store fingerprints.
+
+Stage blobs key an *entire* campaign; these keys address one collapsed
+fault's verdict (and classification) so a near-identical design can
+replay most of a baseline campaign fault by fault.  Every entry is
+published under two keys:
+
+* the **aligned key** -- ``digest(baseline fingerprint + stage params +
+  the fault's index-based campaign key)``.  Cheap to derive, but only
+  meaningful together with the planner's soundness argument (the diff
+  proves the edit cannot reach the fault);
+* the **content key** -- ``digest(stage params + cone-content hash)``,
+  where the cone-content hash covers exactly the gates in the fault's
+  sequential fan-out cone from
+  :func:`~repro.logic.cones.compute_cones`, *plus* the golden value
+  columns of the cone's boundary nets.  Two faults with equal content
+  keys see byte-identical inputs to a byte-identical sub-machine under
+  byte-identical sampling, so the cached verdict transfers with no
+  planner at all -- a cached verdict survives any edit outside its cone
+  by construction, because such an edit either leaves the boundary
+  columns alone (key hits) or disturbs them (key misses honestly).
+
+Classification payloads additionally carry the classifier-context and
+golden-control-trace digests they were computed under; a consumer only
+reuses the classification when both match its own (verdicts come from
+the integrated system, classifications from the standalone controller
+plus the RT-level oracle, so their invalidation rules differ).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from ..logic.cones import FaultCone
+from ..logic.faults import FaultSite
+from ..netlist.netlist import Netlist
+from ..store.fingerprint import SCHEMA_VERSION, digest
+
+
+def params_digest(
+    netlist: Netlist,
+    config,
+    observe: list[int],
+    masks: Iterable[np.ndarray],
+    n_cycles: int,
+) -> str:
+    """Digest of every campaign knob a per-fault verdict depends on.
+
+    Nets are named, not numbered, so the digest survives renumbering;
+    the hold masks are hashed as raw planes because verdict sampling
+    windows must match bit for bit for any replay to be sound.
+    """
+    masks_sha = hashlib.sha256()
+    for m in masks:
+        masks_sha.update(np.ascontiguousarray(m).tobytes())
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "pipeline": config.fingerprint_params(),
+            "stimulus": {
+                "kind": "tpgr-normal-mode",
+                "n_patterns": config.n_patterns,
+                "n_cycles": n_cycles,
+                "tpgr_seed": config.tpgr_seed,
+            },
+            "observe": [netlist.net_names[n] for n in observe],
+            "masks": masks_sha.hexdigest(),
+        }
+    )
+
+
+def meta_store_key(netlist_fp: str, pdigest: str) -> str:
+    """Key of the per-campaign incremental metadata blob."""
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "stage": "incremental-meta",
+            "netlist": netlist_fp,
+            "params": pdigest,
+        }
+    )
+
+
+def aligned_entry_key(baseline_fp: str, pdigest: str, fault_campaign_key: str) -> str:
+    """Per-fault key addressed through the baseline campaign's identity."""
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "stage": "fault-entry",
+            "netlist": baseline_fp,
+            "params": pdigest,
+            "fault": fault_campaign_key,
+        }
+    )
+
+
+def content_entry_key(pdigest: str, cone_hash: str) -> str:
+    """Per-fault key addressed purely by cone content (no baseline)."""
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "stage": "fault-entry",
+            "params": pdigest,
+            "cone": cone_hash,
+        }
+    )
+
+
+def cone_boundary_nets(netlist: Netlist, cone: FaultCone) -> list[int]:
+    """Nets the cone reads from the fault-free machine, sorted.
+
+    Everything a cone gate reads that can never diverge (is outside
+    ``cone.nets``) is boundary: during faulty simulation those nets hold
+    exactly their golden values, so hashing the golden columns pins the
+    cone's entire input space.
+    """
+    return sorted(
+        {
+            n
+            for g in cone.gates
+            for n in netlist.gates[g].inputs
+            if n not in cone.nets
+        }
+    )
+
+
+def golden_column_digest(planes: list[np.ndarray], net: int) -> str:
+    """sha-256 of one net's golden (Z, O) columns across all cycles."""
+    h = hashlib.sha256()
+    for cycle_planes in planes:
+        h.update(np.ascontiguousarray(cycle_planes[0, net]).tobytes())
+        h.update(np.ascontiguousarray(cycle_planes[1, net]).tobytes())
+    return h.hexdigest()
+
+
+def cone_content_hash(
+    netlist: Netlist,
+    site: FaultSite,
+    cone: FaultCone,
+    planes: list[np.ndarray],
+    column_cache: dict[int, str] | None = None,
+) -> str:
+    """Content hash of one fault's cone: site, gates, boundary columns.
+
+    Gate rows are name-based and sorted, so the hash is independent of
+    gate indices and net ids; ``planes`` is the full golden trace from
+    :func:`~repro.logic.faultsim.run_golden` (``full=True``), used to
+    pin the boundary values the cone would read during faulty replay.
+    """
+    names = netlist.net_names
+    rows = sorted(
+        [
+            netlist.gates[g].gtype.name,
+            names[netlist.gates[g].output],
+            [names[i] for i in netlist.gates[g].inputs],
+        ]
+        for g in cone.gates
+    )
+    if column_cache is None:
+        column_cache = {}
+    boundary = {}
+    for net in cone_boundary_nets(netlist, cone):
+        col = column_cache.get(net)
+        if col is None:
+            col = column_cache[net] = golden_column_digest(planes, net)
+        boundary[names[net]] = col
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "site": {
+                "gate": (
+                    None
+                    if site.gate_index is None
+                    else netlist.gates[site.gate_index].name
+                ),
+                "pin": site.pin,
+                "net": names[site.net],
+                "value": site.value,
+            },
+            "gates": rows,
+            "boundary": boundary,
+        }
+    )
+
+
+def classifier_context_digest(rtl, iteration_counts, hold_cycles: int) -> str:
+    """Digest of the RT-level oracle's inputs besides the controller.
+
+    Covers the datapath structure the symbolic replay walks (registers,
+    muxes, functional units, bindings, schedule) and the scenario knobs;
+    the controller's own behavior is pinned separately by the golden
+    control-trace digest plus the controller fingerprint rules in
+    :mod:`~repro.incremental.replay`.
+    """
+
+    def mux(m) -> dict:
+        return {
+            "name": m.name,
+            "sel": list(m.sel_names),
+            "sources": [s.label() for s in m.sources],
+        }
+
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "iteration_counts": list(iteration_counts),
+            "hold_cycles": hold_cycles,
+            "rtl": {
+                "name": rtl.name,
+                "width": rtl.width,
+                "n_steps": rtl.schedule.n_steps,
+                "steps": dict(rtl.schedule.steps),
+                "load_lines": list(rtl.load_lines),
+                "sel_lines": list(rtl.sel_lines),
+                "cond_fu": rtl.cond_fu,
+                "value_reg": dict(rtl.value_reg),
+                "registers": [
+                    {
+                        "name": r.name,
+                        "load": r.load_line,
+                        "mux": mux(r.input_mux),
+                        "holds": list(r.holds),
+                    }
+                    for r in rtl.registers
+                ],
+                "fus": [
+                    {
+                        "name": f.name,
+                        "kind": str(f.kind),
+                        "mux_a": mux(f.mux_a),
+                        "mux_b": mux(f.mux_b),
+                    }
+                    for f in rtl.fus
+                ],
+                "bindings": {
+                    op: {"fu": b.fu, "step": b.step, "dest": b.dest_register}
+                    for op, b in rtl.bindings.items()
+                },
+            },
+        }
+    )
+
+
+def golden_trace_digest(classifier) -> str:
+    """Digest of the classifier's golden control traces, all scenarios."""
+    rows = []
+    for sc, trace, _table, _replay, _timeline in classifier._golden:
+        rows.append(
+            {
+                "iterations": sc.iterations,
+                "n_steps": sc.n_steps,
+                "hold_cycles": sc.hold_cycles,
+                "idle_cycles": sc.idle_cycles,
+                "lines": trace.lines,
+                "states": trace.states,
+            }
+        )
+    return digest({"schema": SCHEMA_VERSION, "scenarios": rows})

@@ -1,0 +1,555 @@
+"""Structural netlist diffing with behavior-preservation certification.
+
+:func:`diff_netlists` aligns two netlist versions -- by name where names
+are stable, by iterative structural-signature refinement for renames --
+and emits a typed :class:`NetlistDelta` of added/removed/modified gates
+and flops plus a :class:`StabilityReport`.
+
+:func:`certify_delta` then tries to *prove* the rewritten region
+behavior-preserving: it extracts the changed gates of both versions as
+two tiny combinational netlists sharing a boundary, enumerates every
+3-valued assignment of the boundary inputs through the production
+:class:`~repro.logic.simulator.CycleSimulator` (so the proof uses the
+exact X-pessimism the campaign engine uses, not a hand-written
+approximation), and compares the output planes bit for bit.  A certified
+region means every fault sited *outside* it keeps its verdict: the
+region computes the identical 3-valued function under any input values,
+including the disturbed values a faulty machine feeds it.
+
+The scripted single-gate edits (:func:`apply_gate_edit`,
+:func:`edit_system_controller`) that CI and the benchmarks drive also
+live here: a *restructure* (AND -> NAND+NOT and friends) is 3-valued
+equivalent by construction and exercises the certified-region fast path;
+a *retype* (AND -> OR) changes behavior and exercises the
+cone-intersection fallback; a *rename* changes no structure at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hls.system import System
+from ..logic import values as V
+from ..logic.simulator import CycleSimulator
+from ..netlist.gates import GateType, is_constant, is_sequential
+from ..netlist.netlist import Gate, Netlist
+
+#: upper bound on boundary inputs for exhaustive 3-valued enumeration;
+#: 3^8 = 6561 packed patterns is ~103 words per net, still trivial.
+MAX_REGION_INPUTS = 8
+
+
+@dataclass
+class StabilityReport:
+    """How much of the old netlist survived into the new one."""
+
+    matched_gates: int
+    matched_flops: int
+    renamed_gates: int
+    renamed_nets: int
+    total_old_gates: int
+    total_new_gates: int
+    io_stable: bool
+
+    @property
+    def matched_fraction(self) -> float:
+        if not self.total_old_gates:
+            return 1.0
+        return self.matched_gates / self.total_old_gates
+
+
+@dataclass
+class NetlistDelta:
+    """Typed alignment of two netlist versions.
+
+    ``gate_map``/``net_map`` carry every matched pair (old index/id ->
+    new index/id), including renamed and modified ones; the change lists
+    classify the pairs.  A *modified* gate is matched (same name or same
+    structural signature) but differs in type, tag or connectivity under
+    the net map.
+    """
+
+    old: Netlist
+    new: Netlist
+    gate_map: dict[int, int]
+    net_map: dict[int, int]
+    modified: list[tuple[int, int]] = field(default_factory=list)
+    added_gates: list[int] = field(default_factory=list)
+    removed_gates: list[int] = field(default_factory=list)
+    renamed_gates: list[tuple[int, int]] = field(default_factory=list)
+    added_nets: list[int] = field(default_factory=list)
+    removed_nets: list[int] = field(default_factory=list)
+    renamed_nets: list[tuple[int, int]] = field(default_factory=list)
+    #: the primary input/output port lists no longer correspond
+    io_changed: bool = False
+
+    @property
+    def structurally_empty(self) -> bool:
+        """True when only names changed (or nothing at all)."""
+        return not (
+            self.modified
+            or self.added_gates
+            or self.removed_gates
+            or self.added_nets
+            or self.removed_nets
+            or self.io_changed
+        )
+
+    @property
+    def touched_new(self) -> frozenset[int]:
+        """New-side gate indices with no unmodified old counterpart."""
+        return frozenset(self.added_gates) | frozenset(n for _, n in self.modified)
+
+    @property
+    def touched_old(self) -> frozenset[int]:
+        """Old-side gate indices with no unmodified new counterpart."""
+        return frozenset(self.removed_gates) | frozenset(o for o, _ in self.modified)
+
+    def stability(self) -> StabilityReport:
+        flops = sum(
+            1
+            for o, n in self.gate_map.items()
+            if is_sequential(self.old.gates[o].gtype)
+            and (o, n) not in set(self.modified)
+        )
+        return StabilityReport(
+            matched_gates=len(self.gate_map) - len(self.modified),
+            matched_flops=flops,
+            renamed_gates=len(self.renamed_gates),
+            renamed_nets=len(self.renamed_nets),
+            total_old_gates=len(self.old.gates),
+            total_new_gates=len(self.new.gates),
+            io_stable=not self.io_changed,
+        )
+
+    def summary(self) -> dict:
+        """Flat counts for ``repro-faults diff`` and provenance meta."""
+
+        def flops(netlist: Netlist, indices) -> int:
+            return sum(1 for i in indices if is_sequential(netlist.gates[i].gtype))
+
+        return {
+            "added_gates": len(self.added_gates),
+            "added_flops": flops(self.new, self.added_gates),
+            "removed_gates": len(self.removed_gates),
+            "removed_flops": flops(self.old, self.removed_gates),
+            "modified_gates": len(self.modified),
+            "modified_flops": flops(self.new, [n for _, n in self.modified]),
+            "renamed_gates": len(self.renamed_gates),
+            "added_nets": len(self.added_nets),
+            "removed_nets": len(self.removed_nets),
+            "renamed_nets": len(self.renamed_nets),
+            "io_changed": self.io_changed,
+            "structurally_empty": self.structurally_empty,
+        }
+
+
+def _match_structural(
+    old: Netlist, new: Netlist, gate_map: dict[int, int], net_map: dict[int, int]
+) -> None:
+    """Signature-match renamed gates/nets, refining to a fixed point.
+
+    A gate's signature is its type, tag and the already-matched identity
+    of each pin; when exactly one unmatched gate on each side shares a
+    signature they are the same gate under a rename, and matching them
+    may resolve their output nets, which sharpens further signatures.
+    """
+    matched_new_gates = set(gate_map.values())
+    matched_new_nets = set(net_map.values())
+
+    while True:
+        un_old = [g for g in old.gates if g.index not in gate_map]
+        un_new = [g for g in new.gates if g.index not in matched_new_gates]
+        if not un_old or not un_new:
+            return
+
+        def signature(g: Gate, mapped: dict[int, int], forward: bool):
+            def token(net: int):
+                if forward:
+                    return mapped.get(net, "?")
+                return net if net in matched_new_nets else "?"
+
+            return (
+                g.gtype.name,
+                g.tag,
+                tuple(token(n) for n in g.inputs),
+                token(g.output),
+            )
+
+        by_sig_old: dict[tuple, list[Gate]] = {}
+        for g in un_old:
+            by_sig_old.setdefault(signature(g, net_map, True), []).append(g)
+        by_sig_new: dict[tuple, list[Gate]] = {}
+        for g in un_new:
+            by_sig_new.setdefault(signature(g, net_map, False), []).append(g)
+
+        progress = False
+        for sig, olds in by_sig_old.items():
+            news = by_sig_new.get(sig)
+            if len(olds) != 1 or news is None or len(news) != 1:
+                continue
+            o, n = olds[0], news[0]
+            gate_map[o.index] = n.index
+            matched_new_gates.add(n.index)
+            if o.output not in net_map and n.output not in matched_new_nets:
+                net_map[o.output] = n.output
+                matched_new_nets.add(n.output)
+            progress = True
+        if not progress:
+            return
+
+
+def diff_netlists(old: Netlist, new: Netlist) -> NetlistDelta:
+    """Align ``old`` against ``new`` and classify every difference."""
+    # Pass 1: names are the stable identity for nets and gates alike.
+    new_net_by_name = {name: i for i, name in enumerate(new.net_names)}
+    net_map = {
+        i: new_net_by_name[name]
+        for i, name in enumerate(old.net_names)
+        if name in new_net_by_name
+    }
+    new_gate_by_name = {g.name: g.index for g in new.gates}
+    gate_map = {
+        g.index: new_gate_by_name[g.name]
+        for g in old.gates
+        if g.name in new_gate_by_name
+    }
+    # Pass 2: unmatched primary inputs correspond positionally (an input
+    # rename keeps its port slot; there is no driver to match through).
+    matched_new_nets = set(net_map.values())
+    if len(old.inputs) == len(new.inputs):
+        for o, n in zip(old.inputs, new.inputs):
+            if o not in net_map and n not in matched_new_nets:
+                net_map[o] = n
+                matched_new_nets.add(n)
+    # Pass 3: structural-signature refinement for renamed gates/nets.
+    _match_structural(old, new, gate_map, net_map)
+
+    delta = NetlistDelta(old=old, new=new, gate_map=gate_map, net_map=net_map)
+    matched_new_gates = set(gate_map.values())
+    matched_new_nets = set(net_map.values())
+    delta.removed_gates = [g.index for g in old.gates if g.index not in gate_map]
+    delta.added_gates = [
+        g.index for g in new.gates if g.index not in matched_new_gates
+    ]
+    delta.removed_nets = [
+        i for i in range(old.num_nets) if i not in net_map
+    ]
+    delta.added_nets = [
+        i for i in range(new.num_nets) if i not in matched_new_nets
+    ]
+    for o, n in sorted(net_map.items()):
+        if old.net_names[o] != new.net_names[n]:
+            delta.renamed_nets.append((o, n))
+    for o, n in sorted(gate_map.items()):
+        og, ng = old.gates[o], new.gates[n]
+        if og.name != ng.name:
+            delta.renamed_gates.append((o, n))
+        same = (
+            og.gtype is ng.gtype
+            and og.tag == ng.tag
+            and len(og.inputs) == len(ng.inputs)
+            and net_map.get(og.output) == ng.output
+            and all(net_map.get(a) == b for a, b in zip(og.inputs, ng.inputs))
+        )
+        if not same:
+            delta.modified.append((o, n))
+    mapped_inputs = [net_map.get(i) for i in old.inputs]
+    mapped_outputs = [net_map.get(i) for i in old.outputs]
+    delta.io_changed = (
+        mapped_inputs != list(new.inputs) or mapped_outputs != list(new.outputs)
+    )
+    return delta
+
+
+# --------------------------------------------------------------------- region
+
+
+@dataclass
+class RegionReport:
+    """Outcome of trying to certify the rewritten region equivalent."""
+
+    equivalent: bool
+    reason: str
+    old_gates: tuple[int, ...] = ()
+    new_gates: tuple[int, ...] = ()
+    boundary_inputs: int = 0
+    checked_patterns: int = 0
+
+
+def _region_ports(
+    netlist: Netlist, region: list[int]
+) -> tuple[list[int], list[int]]:
+    """(boundary input nets, boundary output nets) of a gate region.
+
+    Inputs are nets the region reads but does not drive; outputs are
+    region-driven nets read outside the region or listed as primary
+    outputs.  Region-driven nets that are neither stay internal.
+    """
+    rset = set(region)
+    driven = {netlist.gates[g].output for g in region}
+    read = {n for g in region for n in netlist.gates[g].inputs}
+    fanout = netlist.fanout_map()
+    outputs = sorted(
+        n
+        for n in driven
+        if n in netlist.outputs
+        or any(gi not in rset for gi, _pin in fanout[n])
+    )
+    return sorted(read - driven), outputs
+
+
+def _region_netlist(
+    netlist: Netlist, region: list[int], inputs: list[int]
+) -> tuple[Netlist, dict[int, int]]:
+    """Extract the region as a standalone netlist; returns (mini, id map)."""
+    mini = Netlist(name=f"{netlist.name}::region")
+    ids: dict[int, int] = {}
+    for n in inputs:
+        ids[n] = mini.add_net(netlist.net_names[n])
+        mini.mark_input(ids[n])
+    for g_idx in region:
+        out = netlist.gates[g_idx].output
+        if out not in ids:
+            ids[out] = mini.add_net(netlist.net_names[out])
+    for g_idx in sorted(region):
+        g = netlist.gates[g_idx]
+        mini.add_gate(
+            g.gtype, ids[g.output], [ids[i] for i in g.inputs], name=g.name, tag=g.tag
+        )
+    return mini, ids
+
+
+def certify_delta(
+    old: Netlist,
+    new: Netlist,
+    delta: NetlistDelta,
+    max_inputs: int = MAX_REGION_INPUTS,
+) -> RegionReport:
+    """Prove (or decline to prove) the rewrite region behavior-preserving.
+
+    All changed gates of both versions form one aggregate region.  When
+    the region is combinational, its boundary nets correspond 1:1 under
+    the delta's net map, and the boundary is small enough to enumerate,
+    both region versions are simulated under every 3-valued boundary
+    assignment on the production bit-plane simulator and their output
+    planes compared exactly (including X positions).  Equality means the
+    versions are indistinguishable by *any* surrounding machine -- golden
+    or faulted -- so only faults sited on region gates can change verdict.
+    """
+    old_region = sorted(set(delta.removed_gates) | {o for o, _ in delta.modified})
+    new_region = sorted(set(delta.added_gates) | {n for _, n in delta.modified})
+    report = RegionReport(
+        equivalent=False,
+        reason="",
+        old_gates=tuple(old_region),
+        new_gates=tuple(new_region),
+    )
+    if not old_region and not new_region:
+        report.equivalent = True
+        report.reason = "structurally-empty"
+        return report
+    if delta.io_changed:
+        report.reason = "primary-io-changed"
+        return report
+    for netlist, region in ((old, old_region), (new, new_region)):
+        for g_idx in region:
+            if is_sequential(netlist.gates[g_idx].gtype):
+                report.reason = "sequential-gate-in-region"
+                return report
+
+    in_old, out_old = _region_ports(old, old_region)
+    in_new, out_new = _region_ports(new, new_region)
+    mapped_in = [delta.net_map.get(n) for n in in_old]
+    mapped_out = [delta.net_map.get(n) for n in out_old]
+    if None in mapped_in or None in mapped_out:
+        report.reason = "unmapped-boundary-net"
+        return report
+    if sorted(mapped_in) != in_new or sorted(mapped_out) != out_new:
+        report.reason = "boundary-mismatch"
+        return report
+    k = len(in_old)
+    report.boundary_inputs = k
+    if k > max_inputs:
+        report.reason = f"boundary-too-wide ({k} > {max_inputs} inputs)"
+        return report
+
+    n_patterns = 3**k
+    report.checked_patterns = n_patterns
+    try:
+        mini_old, ids_old = _region_netlist(old, old_region, in_old)
+        mini_new, ids_new = _region_netlist(new, new_region, mapped_in)
+        sims = []
+        for mini, ids, ports in (
+            (mini_old, ids_old, in_old),
+            (mini_new, ids_new, mapped_in),
+        ):
+            sim = CycleSimulator(mini, n_patterns=n_patterns)
+            sim.reset_state()
+            for j, net in enumerate(ports):
+                digits = (np.arange(n_patterns) // (3**j)) % 3
+                sim.drive_words(
+                    ids[net],
+                    V.pack_bits((digits == 0).astype(np.uint8)),
+                    V.pack_bits((digits == 1).astype(np.uint8)),
+                )
+            sim.settle()
+            sims.append((sim, ids))
+    except Exception as exc:  # combinational loop, arity trouble, ...
+        report.reason = f"region-not-simulable ({exc})"
+        return report
+
+    (sim_old, map_old), (sim_new, map_new) = sims
+    for o_net, n_net in zip(out_old, mapped_out):
+        ro, rn = map_old[o_net], map_new[n_net]
+        if not (
+            np.array_equal(sim_old.Z[ro], sim_new.Z[rn])
+            and np.array_equal(sim_old.O[ro], sim_new.O[rn])
+        ):
+            report.reason = (
+                f"region-diverges-at {old.net_names[o_net]!r} under some "
+                f"3-valued boundary assignment"
+            )
+            return report
+    report.equivalent = True
+    report.reason = "exhaustive-3-valued-equivalence"
+    return report
+
+
+# ------------------------------------------------------------ scripted edits
+
+#: behavior-preserving De-Morgan-style split: gate -> complementary type
+#: whose NOT-composition is 3-valued identical to the original.
+RESTRUCTURE_MAP = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+}
+
+#: behavior-*changing* in-place retype (same pins, different function).
+RETYPE_MAP = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+EDIT_MODES = ("restructure", "retype", "rename")
+
+
+def apply_gate_edit(netlist: Netlist, gate_name: str, mode: str) -> Netlist:
+    """Rebuild ``netlist`` with one scripted edit at ``gate_name``.
+
+    All original net ids and gate indices are preserved (new nets and
+    gates append after the originals), so the edited netlist stays
+    coherent with any id-holding wrapper built around the original.
+
+    * ``restructure``: split the gate into its complementary type plus an
+      inverter (``AND -> NAND + NOT`` etc.) -- 3-valued equivalent.
+    * ``retype``: swap the gate for its dual in place -- behavior changes.
+    * ``rename``: rename the gate and its output net -- structure intact.
+    """
+    if mode not in EDIT_MODES:
+        raise ValueError(f"unknown edit mode {mode!r} (expected {EDIT_MODES})")
+    target = next((g for g in netlist.gates if g.name == gate_name), None)
+    if target is None:
+        raise ValueError(f"no gate named {gate_name!r} in {netlist.name!r}")
+    if mode == "restructure" and target.gtype not in RESTRUCTURE_MAP:
+        raise ValueError(f"cannot restructure a {target.gtype.name} gate")
+    if mode == "retype" and target.gtype not in RETYPE_MAP:
+        raise ValueError(f"cannot retype a {target.gtype.name} gate")
+
+    out_name = netlist.net_names[target.output]
+    renames: dict[str, str] = {}
+    if mode == "rename":
+        renames[out_name] = f"{out_name}_r"
+    edited = Netlist(name=netlist.name)
+    for name in netlist.net_names:
+        edited.add_net(renames.get(name, name))
+    pre = edited.add_net(f"{out_name}__pre") if mode == "restructure" else None
+    for i in netlist.inputs:
+        edited.mark_input(i)
+    for g in netlist.gates:
+        gtype, output, name = g.gtype, g.output, g.name
+        if g.index == target.index:
+            if mode == "restructure":
+                gtype, output = RESTRUCTURE_MAP[g.gtype], pre
+            elif mode == "retype":
+                gtype = RETYPE_MAP[g.gtype]
+            else:
+                name = f"{g.name}_r"
+        edited.add_gate(gtype, output, list(g.inputs), name=name, tag=g.tag)
+    if mode == "restructure":
+        edited.add_gate(
+            GateType.NOT,
+            target.output,
+            [pre],
+            name=f"{target.name}__inv",
+            tag=target.tag,
+        )
+    for o in netlist.outputs:
+        edited.mark_output(o)
+    return edited
+
+
+def pick_editable_gate(system: System, mode: str) -> str:
+    """Deterministically pick the first controller gate ``mode`` can edit."""
+    eligible = {
+        "restructure": lambda g: g.gtype in RESTRUCTURE_MAP,
+        "retype": lambda g: g.gtype in RETYPE_MAP,
+        "rename": lambda g: not is_constant(g.gtype) and not is_sequential(g.gtype),
+    }[mode]
+    for g in system.controller.netlist.gates:
+        if eligible(g):
+            return g.name
+    raise ValueError(f"no controller gate eligible for a {mode!r} edit")
+
+
+def edit_system_controller(system: System, gate_name: str, mode: str) -> System:
+    """Apply one scripted edit to controller gate ``gate_name``, coherently.
+
+    The standalone controller netlist and the integrated system netlist
+    are edited in lockstep (the system instance carries the gate under
+    the ``ctrl/`` prefix), and the system's controller gate/net maps are
+    extended to cover any appended inverter -- so the edited system is a
+    drop-in for :func:`~repro.core.pipeline.run_pipeline`.
+    """
+    ctrl = system.controller
+    new_ctrl_netlist = apply_gate_edit(ctrl.netlist, gate_name, mode)
+    new_sys_netlist = apply_gate_edit(system.netlist, f"ctrl/{gate_name}", mode)
+
+    ctrl_net_map = dict(system.ctrl_net_map or {})
+    ctrl_gate_map = dict(system.ctrl_gate_map or {})
+    target = next(g for g in ctrl.netlist.gates if g.name == gate_name)
+    ctrl_out = ctrl.netlist.net_names[target.output]
+    if mode == "restructure":
+        sys_out = _sys_net(system, gate_name)
+        ctrl_net_map[f"{ctrl_out}__pre"] = new_sys_netlist.net_id(f"{sys_out}__pre")
+        ctrl_gate_map[len(ctrl.netlist.gates)] = len(system.netlist.gates)
+    elif mode == "rename":
+        sys_id = ctrl_net_map.pop(ctrl_out, None)
+        if sys_id is not None:
+            ctrl_net_map[f"{ctrl_out}_r"] = sys_id
+
+    new_ctrl = dataclasses.replace(ctrl, netlist=new_ctrl_netlist)
+    return dataclasses.replace(
+        system,
+        netlist=new_sys_netlist,
+        controller=new_ctrl,
+        ctrl_net_map=ctrl_net_map,
+        ctrl_gate_map=ctrl_gate_map,
+    )
+
+
+def _sys_net(system: System, gate_name: str) -> str:
+    """System-side name of the net a controller gate drives."""
+    sys_gate = next(
+        g for g in system.netlist.gates if g.name == f"ctrl/{gate_name}"
+    )
+    return system.netlist.net_names[sys_gate.output]

@@ -109,6 +109,36 @@ def _reach_matrix(
     return reach, in_mat, closures
 
 
+def net_closure(
+    netlist: Netlist, seeds: list[int]
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Sequential transitive fanout of a set of nets.
+
+    Returns ``(gates, nets)``: every gate whose evaluation a disturbance
+    on any seed net can ever influence, and every net that can ever
+    differ -- the same closure :func:`compute_cones` builds per fault,
+    exposed for callers that reason about *edits* rather than faults
+    (the incremental planner treats a netlist delta as a disturbance
+    source and reuses this cache).
+    """
+    fanout = netlist.fanout_map()
+    reach, in_mat, closures = _reach_matrix(netlist, fanout)
+    gates: frozenset[int] = frozenset()
+    nets: frozenset[int] = frozenset()
+    for seed in seeds:
+        got = closures.get(seed)
+        if got is None:
+            row = reach[seed]
+            seed_nets = frozenset(np.flatnonzero(row).tolist())
+            seed_gates = frozenset(
+                np.flatnonzero(row.astype(np.float32) @ in_mat).tolist()
+            )
+            got = closures[seed] = (seed_gates, seed_nets)
+        gates |= got[0]
+        nets |= got[1]
+    return gates, nets
+
+
 def compute_cones(
     netlist: Netlist, faults: list[FaultSite]
 ) -> dict[FaultSite, FaultCone]:

@@ -208,6 +208,41 @@ class ArtifactStore:
                 )
         return sha
 
+    def put_many(
+        self,
+        rows: list[tuple],
+        wall_s: float = 0.0,
+        lock_timeout: float | None = None,
+    ) -> int:
+        """Store many ``(kind, key, payload, design, meta)`` rows at once.
+
+        One writer lock and one SQLite transaction for the whole batch --
+        per-fault incremental publication writes thousands of index rows,
+        and paying the flock/fsync/commit cost per row would dominate the
+        campaign it is trying to cache.  Identical payloads still dedup
+        to a single blob.  Returns the number of index rows written.
+        """
+        if not rows:
+            return 0
+        now = time.time()
+        with self.writer(lock_timeout):
+            inserts = []
+            for kind, key, payload, design, meta in rows:
+                data = canonical_json(payload).encode("utf-8")
+                sha, size = self._write_blob(data)
+                inserts.append(
+                    (key, kind, design or "", sha, size, now, wall_s,
+                     canonical_json(meta or {}))
+                )
+            with self._connect() as con:
+                con.executemany(
+                    "INSERT OR REPLACE INTO artifacts "
+                    "(key, kind, design, blob_sha, size_bytes, created_at, wall_s, meta) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    inserts,
+                )
+        return len(inserts)
+
     # ---------------------------------------------------------------- lookup
     def row(self, key: str) -> ArtifactRow | None:
         with self._connect() as con:

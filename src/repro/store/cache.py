@@ -20,6 +20,15 @@ Stage payload shapes (``kind`` -> canonical-JSON dict):
 * ``grading``: ``{"baseline": mc_json, "faults": {fault_key: mc_json}}``
 * ``report``: the full result report of one ``classify``/``grade`` run
   (see :func:`repro.core.report.build_result_report`)
+* ``fault-entry``: one collapsed fault's verdict + classification,
+  addressed by aligned and content keys (see
+  :mod:`repro.incremental.faultkeys`)
+* ``incremental-meta``: per-campaign planner metadata (params digest,
+  fault universe, classifier-context digests)
+* ``netlist``: a round-trippable netlist payload
+  (:func:`~repro.store.fingerprint.netlist_payload`) keyed by
+  fingerprint, so ``--baseline <fingerprint>`` and ``--baseline auto``
+  can reconstruct the baseline design from the store alone
 """
 
 from __future__ import annotations
@@ -150,6 +159,29 @@ class CampaignStore:
         except (StoreError, ShardUnavailable) as exc:
             logger.warning("store: could not publish %s artifact: %s", kind, exc)
             return False
+
+    def publish_many(self, rows: list[tuple], wall_s: float = 0.0) -> int:
+        """Batch-publish ``(kind, key, payload, design, meta)`` rows.
+
+        Uses the backend's single-transaction ``put_many`` when it has
+        one (the plain :class:`~repro.store.artifacts.ArtifactStore`);
+        replicated fabrics route row by row so each key still lands on
+        its own shard placement.  Best-effort like :meth:`publish`.
+        """
+        try:
+            put_many = getattr(self.artifacts, "put_many", None)
+            if put_many is not None:
+                return put_many(rows, wall_s=wall_s)
+            n = 0
+            for kind, key, payload, design, meta in rows:
+                self.artifacts.put(
+                    kind, key, payload, design=design or "", meta=meta, wall_s=wall_s
+                )
+                n += 1
+            return n
+        except (StoreError, ShardUnavailable) as exc:
+            logger.warning("store: batch publication degraded: %s", exc)
+            return 0
 
     # ------------------------------------------------------------ provenance
     def record(self, provenance: StageProvenance) -> None:

@@ -315,6 +315,13 @@ class CampaignService:
                 "served_cached": self.served_cached,
                 "computed": self.computed,
             }
+        # Fault-granular reuse accounting: every merged incremental
+        # campaign records one "faultsim-incremental" provenance row
+        # (see repro.incremental), so near-duplicate uploads show up as
+        # replays with the wall time their baselines originally paid.
+        inc = [p for p in self.store.provenance if p.stage == "faultsim-incremental"]
+        top["incremental_replays"] = len(inc)
+        top["incremental_saved_s"] = sum(p.saved_s for p in inc)
         return {"store": self.store.artifacts.stats(), **top, "service": service}
 
     # ------------------------------------------------------------ requests

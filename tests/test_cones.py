@@ -147,6 +147,25 @@ class TestChunkByCone:
         assert sorted(flat, key=str) == sorted(faults, key=str)
         assert all(len(c) <= 7 for c in chunks)
 
+    def test_ordering_is_independent_of_input_order(self, facet_faultsim_setup):
+        """The fault-key tiebreak pins the chunking for any input order.
+
+        Faults sharing a cone size/signature/depth would otherwise be
+        ordered by Python's stable sort -- i.e. by arrival -- and the
+        chunk layout (hence worker scheduling) would silently depend on
+        enumeration order.  Regression for the deterministic tiebreak.
+        """
+        system, _stim, _masks, _observe, faults = facet_faultsim_setup
+        cones = compute_cones(system.netlist, faults)
+        reference = chunk_by_cone(faults, cones, 7, system.netlist, key=str)
+        for seed in (3, 17):
+            shuffled = list(faults)
+            np.random.default_rng(seed).shuffle(shuffled)
+            assert (
+                chunk_by_cone(shuffled, cones, 7, system.netlist, key=str)
+                == reference
+            )
+
 
 class TestConeEngineBitIdentity:
     @pytest.mark.parametrize("batch_faults,n_jobs", [(1, 1), (7, 1), (32, 2)])
