@@ -17,6 +17,8 @@ import pytest
 from repro.core.grading import grade_sfr_faults
 from repro.core.pipeline import PipelineConfig, run_pipeline
 from repro.designs.catalog import PAPER_DESIGNS, cached_system
+from repro.fleet import activity_campaign
+from repro.power.estimator import PowerEstimator
 
 from _config import MC_BATCH, MC_MAX_BATCHES, PATTERNS
 
@@ -65,7 +67,38 @@ def pipelines(systems):
 
 
 @pytest.fixture(scope="session")
-def gradings(systems, pipelines):
+def estimators(systems):
+    return {name: PowerEstimator(s.netlist) for name, s in systems.items()}
+
+
+@pytest.fixture(scope="session")
+def activities(systems, pipelines, estimators):
+    """Per-design activity campaigns (same MC knobs as ``gradings``).
+
+    Same seed, batch size, and budget as the grading fixture, so the
+    per-fault powers recovered from the activity counters are
+    bit-identical to the scalar grades.
+    """
+    return {
+        name: activity_campaign(
+            systems[name],
+            pipelines[name],
+            estimator=estimators[name],
+            batch_patterns=MC_BATCH,
+            max_batches=MC_MAX_BATCHES,
+        )
+        for name in systems
+    }
+
+
+@pytest.fixture(scope="session")
+def gradings(systems, pipelines, activities):
+    """Scalar SFR grades, replayed from the activity campaigns.
+
+    The activity fixture is the session's single Monte-Carlo run; the
+    grades here are seeded from its results, so no fault is simulated
+    twice across the bench suite.
+    """
     return {
         name: grade_sfr_faults(
             systems[name],
@@ -73,6 +106,7 @@ def gradings(systems, pipelines):
             threshold=0.05,
             batch_patterns=MC_BATCH,
             max_batches=MC_MAX_BATCHES,
+            seed_results=activities[name].grading_seed_results(),
         )
         for name in systems
     }

@@ -4,6 +4,7 @@ Subcommands::
 
     repro-faults classify diffeq            # Section-5 pipeline, Table-2 row
     repro-faults grade diffeq               # + Monte-Carlo power, Figure 7
+    repro-faults calibrate diffeq           # fleet-scale threshold ROC
     repro-faults table2                     # the paper's three designs
     repro-faults strategies diffeq          # separate/integrated/power compare
     repro-faults worstcase diffeq           # Section-4 max corruption
@@ -137,6 +138,19 @@ def _audit_rate_arg(text: str) -> float:
     if not 0.0 <= value < 1.0:
         raise argparse.ArgumentTypeError(
             f"must be a fraction in [0, 1) (0 disables auditing), got {value}"
+        )
+    return value
+
+
+def _sigma_arg(text: str) -> float:
+    """argparse type for fleet sigmas/budgets: a fraction in [0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in [0, 1), got {value}"
         )
     return value
 
@@ -451,6 +465,95 @@ def _cmd_grade(args) -> int:
     return 0
 
 
+def _fleet_config(args):
+    from .fleet import FleetConfig
+
+    return FleetConfig(
+        instances=args.instances,
+        sigma_cap=args.sigma_cap,
+        sigma_leak=args.sigma_leak,
+        sigma_meas=args.sigma_meas,
+        yield_budget=args.yield_budget,
+        seed=args.fleet_seed,
+        engine=args.fleet_engine,
+    )
+
+
+def _cmd_calibrate(args) -> int:
+    from .core.report import render_table
+    from .fleet import calibrate_fleet, calibrate_report_dict
+
+    system = _build(args)
+    store = _store(args)
+    config = _config(args)
+    result = run_pipeline(
+        system, config, store=store, baseline=_baseline_spec(args, system)
+    )
+    _print_campaign(result.campaign, "fault-sim campaign")
+    _print_incremental(result)
+    fleet, campaign, grading = calibrate_fleet(
+        system,
+        result,
+        _fleet_config(args),
+        threshold=args.threshold,
+        n_jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        audit_rate=args.audit_rate,
+        strict=args.strict,
+        cone_power=args.cone_power,
+        store=store,
+    )
+    _print_campaign(campaign.campaign, "activity campaign")
+    _print_campaign(grading.campaign, "grading campaign")
+    _print_store(store)
+    _write_result_json(args, calibrate_report_dict(fleet))
+    _write_report_json(
+        args,
+        {
+            "faultsim": result.campaign,
+            "activity": campaign.campaign,
+            "grading": grading.campaign,
+        },
+        store=store,
+    )
+    print(
+        render_table(
+            ["Threshold", "Yield loss", "Escape rate", "Escapes"],
+            [
+                [
+                    f"{r['threshold']:.3f}",
+                    f"{100 * r['yield_loss']:.3f}%",
+                    f"{100 * r['escape_rate']:.3f}%",
+                    str(r["escapes"]),
+                ]
+                for r in fleet.roc()
+            ],
+            title=(
+                f"Fleet ROC -- {fleet.design} ({fleet.instances} instances, "
+                f"{len(fleet.fault_keys)} faults)"
+            ),
+        )
+    )
+    chosen = fleet.chosen
+    print(
+        f"\nchosen threshold: +/-{100 * chosen['threshold']:.1f}% "
+        f"(yield loss {100 * chosen['yield_loss']:.3f}%, escape rate "
+        f"{100 * chosen['escape_rate']:.3f}%, budget "
+        f"{'met' if chosen['met_budget'] else 'NOT met'})"
+    )
+    if fleet.matmul_s > 0:
+        print(
+            f"population kernel: {fleet.throughput:.3e} instances*faults/s "
+            f"({fleet.matmul_s:.3f}s in matmuls)"
+        )
+    else:
+        print("population kernel: replayed from store (no matmul run)")
+    return 0
+
+
 def _cmd_diff(args) -> int:
     """Structural delta + projected dirty fraction, without simulating."""
     from .core.pipeline import controller_fault_universe
@@ -522,6 +625,41 @@ def _compute_campaign(args, store: CampaignStore, design: str, threshold: float)
         cone_power=args.cone_power,
     )
     return _result_report(store, system, config, result, grading, command="grade")
+
+
+def _compute_calibrate(args, store: CampaignStore, design: str, params: dict) -> dict:
+    """Cache-aware fleet calibration for one design (the serve hook).
+
+    ``params`` holds validated :class:`~repro.fleet.FleetConfig` field
+    overrides straight from the endpoint's query string; everything the
+    hook computes (activity counters, grading, fleet ROC) is store-backed,
+    so a warm repeat is a pure replay.
+    """
+    from .fleet import FleetConfig, calibrate_fleet, calibrate_report_dict
+
+    system = cached_system(
+        design,
+        width=args.width,
+        encoding_kind=args.encoding,
+        output_style=args.output_style,
+    )
+    config = _config(args)
+    result = run_pipeline(system, config, store=store, baseline="auto")
+    fleet, _campaign, _grading = calibrate_fleet(
+        system,
+        result,
+        FleetConfig(**params),
+        n_jobs=args.jobs,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        audit_rate=args.audit_rate,
+        strict=args.strict,
+        cone_power=args.cone_power,
+        store=store,
+    )
+    return calibrate_report_dict(fleet)
 
 
 def _cmd_store(args) -> int:
@@ -610,6 +748,7 @@ def _cmd_serve(args) -> int:
         print("error: serve needs --store-dir", file=sys.stderr)
         return 2
     compute = None
+    compute_calibrate = None
     if not args.no_compute:
         # Journal compute jobs under the store by default so a job-level
         # retry after a mid-request worker crash *resumes* the campaign
@@ -621,11 +760,15 @@ def _cmd_serve(args) -> int:
         def compute(design: str, threshold: float) -> dict:
             return _compute_campaign(args, store, design, threshold)
 
+        def compute_calibrate(design: str, params: dict) -> dict:
+            return _compute_calibrate(args, store, design, params)
+
     server = make_server(
         args.host,
         args.port,
         store,
         compute=compute,
+        compute_calibrate=compute_calibrate,
         designs=tuple(design_names()),
         queue_depth=args.queue_depth,
         workers=args.serve_workers,
@@ -916,6 +1059,69 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--threshold", type=_fraction_arg, default=0.05)
     p.add_argument("--baseline", default=None, help=baseline_help)
     p.set_defaults(func=_cmd_grade)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fleet-scale threshold ROC: one activity campaign + the "
+        "population matmul kernel (see docs/performance.md)",
+    )
+    p.add_argument("design", choices=design_names())
+    p.add_argument(
+        "--instances",
+        type=_positive_int,
+        default=100_000,
+        help="manufactured instances to sample (default: 100000; the "
+        "kernel is a matmul, so millions are fine)",
+    )
+    p.add_argument(
+        "--sigma-cap",
+        type=_sigma_arg,
+        default=0.05,
+        help="per-gate-type log-normal capacitance spread (default: 0.05)",
+    )
+    p.add_argument(
+        "--sigma-leak",
+        type=_sigma_arg,
+        default=0.30,
+        help="per-gate-type log-normal leakage spread (default: 0.30)",
+    )
+    p.add_argument(
+        "--sigma-meas",
+        type=_sigma_arg,
+        default=0.02,
+        help="multiplicative tester measurement noise (default: 0.02)",
+    )
+    p.add_argument(
+        "--yield-budget",
+        type=_sigma_arg,
+        default=0.01,
+        help="tolerated fault-free yield loss for the threshold chooser "
+        "(default: 0.01)",
+    )
+    p.add_argument(
+        "--fleet-seed",
+        type=_nonnegative_int,
+        default=7,
+        help="population sampling seed (default: 7; results are "
+        "byte-identical for a fixed configuration)",
+    )
+    p.add_argument(
+        "--fleet-engine",
+        choices=["rowwise", "factored"],
+        default="rowwise",
+        help="'rowwise' materialises C[instances x rows] (the full "
+        "decomposition matmul); 'factored' precontracts the weight/"
+        "activity product (default: rowwise)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=_fraction_arg,
+        default=0.05,
+        help="threshold of the embedded scalar grading report (the fleet "
+        "sweeps its own grid; default: 0.05)",
+    )
+    p.add_argument("--baseline", default=None, help=baseline_help)
+    p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser(
         "diff",

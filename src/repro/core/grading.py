@@ -64,6 +64,16 @@ _GRADE_MAX_WORDS = 8192
 _GRADE_CHUNK_FAULTS = 32
 
 
+def power_detected(pct_change: float, threshold: float) -> bool:
+    """Single source of truth for the power-screen detection predicate.
+
+    ``pct_change`` is a percentage (Figure-7 units), ``threshold`` a
+    fraction; a fault is flagged when the magnitude of its power shift
+    exceeds the threshold.
+    """
+    return abs(pct_change) > 100.0 * threshold
+
+
 @dataclass
 class GradedFault:
     """One SFR fault with its Monte-Carlo power grade."""
@@ -90,7 +100,7 @@ class GradingResult:
     campaign: RunReport | None = None
 
     def detected_flags(self) -> list[bool]:
-        return [abs(g.pct_change) > 100.0 * self.threshold for g in self.graded]
+        return [power_detected(g.pct_change, self.threshold) for g in self.graded]
 
     def group(self, name: str) -> list[GradedFault]:
         return [g for g in self.graded if g.group == name]
@@ -98,15 +108,18 @@ class GradingResult:
     def summary(self) -> dict:
         sel = self.group("select")
         load = self.group("load")
-        t = 100.0 * self.threshold
         return {
             "design": self.design,
             "fault_free_uw": self.fault_free_uw,
             "n_sfr": len(self.graded),
             "n_select_only": len(sel),
             "n_load": len(load),
-            "select_detected": sum(1 for g in sel if abs(g.pct_change) > t),
-            "load_detected": sum(1 for g in load if abs(g.pct_change) > t),
+            "select_detected": sum(
+                1 for g in sel if power_detected(g.pct_change, self.threshold)
+            ),
+            "load_detected": sum(
+                1 for g in load if power_detected(g.pct_change, self.threshold)
+            ),
         }
 
 

@@ -17,7 +17,7 @@ import json
 
 from ..store.cache import CampaignStore
 from .checkpoint import fault_key
-from .grading import GradedFault, GradingResult, Table3Row
+from .grading import GradedFault, GradingResult, Table3Row, power_detected
 from .parallel import RunReport
 from .pipeline import PipelineResult
 
@@ -272,7 +272,7 @@ def build_result_report(
                     "group": g.group,
                     "power_uw": g.power_uw,
                     "pct": g.pct_change,
-                    "detected": abs(g.pct_change) > 100.0 * grading.threshold,
+                    "detected": power_detected(g.pct_change, grading.threshold),
                 }
                 for g in grading.graded
             ],
@@ -319,7 +319,7 @@ def figure7_series(grading: GradingResult) -> list[dict]:
                 "group": g.group,
                 "power_uw": g.power_uw,
                 "pct": g.pct_change,
-                "detected": abs(g.pct_change) > 100.0 * grading.threshold,
+                "detected": power_detected(g.pct_change, grading.threshold),
             }
         )
     return out

@@ -1,0 +1,51 @@
+"""Fleet-scale threshold calibration (population-vectorized ROC).
+
+Switching activity is instance-independent and power is linear in the
+per-row activity counters, so one Monte-Carlo campaign per design prices
+a manufactured fleet of any size through a single chunked matmul::
+
+    P[instances x faults] = C[instances x rows] @ A[rows x faults]
+
+Layers:
+
+* :mod:`repro.fleet.activity` -- capture + store the per-fault integer
+  activity matrices (one block-parallel Monte-Carlo campaign);
+* :mod:`repro.fleet.population` -- sample process/tester spread and
+  sweep the threshold ROC over the matmul;
+* :mod:`repro.fleet.calibrate` -- glue: activity -> seeded grading ->
+  bit-identity cross-check -> population kernel -> store artifact.
+"""
+
+from .activity import (
+    ActivityCampaign,
+    activity_campaign,
+    activity_store_key,
+    recovered_power_uw,
+)
+from .calibrate import calibrate_fleet, calibrate_report_dict, fleet_store_key
+from .population import (
+    DEFAULT_THRESHOLDS,
+    FLEET_CHUNK_INSTANCES,
+    FleetConfig,
+    FleetResult,
+    activity_matrix,
+    choose_threshold,
+    run_population,
+)
+
+__all__ = [
+    "ActivityCampaign",
+    "activity_campaign",
+    "activity_store_key",
+    "recovered_power_uw",
+    "calibrate_fleet",
+    "calibrate_report_dict",
+    "fleet_store_key",
+    "DEFAULT_THRESHOLDS",
+    "FLEET_CHUNK_INSTANCES",
+    "FleetConfig",
+    "FleetResult",
+    "activity_matrix",
+    "choose_threshold",
+    "run_population",
+]

@@ -339,6 +339,20 @@ class CycleSimulator:
                     self.Z[net, sl] = self.mask[sl]
                     self.O[net, sl] = 0
 
+    def counter_snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the accumulated ``(toggles, load_events)`` counters.
+
+        ``toggles`` / ``load_events`` are live views into the simulator's
+        accumulators (zeroed on reuse, mutated every cycle); callers that
+        persist per-batch activity -- the fleet-calibration layer -- need
+        a snapshot that survives the next batch.  Shapes follow the
+        counter mode: ``(num_nets,)`` / ``(n_dffe,)`` globally, or
+        ``(B, num_nets)`` / ``(B, n_dffe)`` with ``toggle_blocks=B``.
+        """
+        if not self.count_toggles:
+            raise ValueError("simulator was not counting toggles")
+        return self.toggles.copy(), self.load_events.copy()
+
     # ----------------------------------------------------------------- drive
     def drive_words(self, net: int, zero: np.ndarray, one: np.ndarray) -> None:
         """Set a primary input from raw bit-planes."""

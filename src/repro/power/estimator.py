@@ -35,6 +35,55 @@ class PowerResult:
         return f"{self.total_uw:.2f} uW ({self.switching_uw:.2f} switching + {self.clock_uw:.2f} clock)"
 
 
+#: decomposition component name for per-fanout interconnect capacitance
+WIRE_COMPONENT = "wire"
+
+
+@dataclass
+class CapDecomposition:
+    """Per-row switched capacitance split into process-scaling components.
+
+    A manufactured instance deviates from the nominal capacitance model
+    by per-gate-type scale factors (all NAND drains on a die etched a
+    little wide, all wires a little thick...).  This decomposition
+    splits every counter row's capacitance into its per-component
+    contributions so the fleet kernel can apply per-instance,
+    per-component log-normal scales with one matmul:
+    ``row_cap(instance) = scales[instance] @ weights[row]``.
+
+    Components are the gate-type names present in the netlist plus
+    :data:`WIRE_COMPONENT`; rows follow the counter layout of
+    :meth:`PowerEstimator.power_from_counts`: one row per net (fF per
+    toggle), one per DFFE (fF per load event), and one constant row (fF
+    per cycle-pattern, the always-clocked DFF tree).  Rows outside the
+    requested ``tag_prefix`` are all-zero, so the matrix product applies
+    exactly the selection mask the scalar path applies.
+    """
+
+    components: list[str]
+    net_weights: np.ndarray  # (num_nets, n_components) fF per toggle
+    dffe_weights: np.ndarray  # (n_dffe, n_components) fF per load event
+    dff_weight: np.ndarray  # (n_components,) fF per cycle-pattern
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def n_rows(self) -> int:
+        return self.net_weights.shape[0] + self.dffe_weights.shape[0] + 1
+
+    def stack(self) -> np.ndarray:
+        """The full ``(n_rows, n_components)`` weight matrix ``W``.
+
+        Row order matches the fleet activity matrix: nets, then DFFE
+        load rows, then the constant DFF-clock row (unit activity).
+        """
+        return np.vstack(
+            [self.net_weights, self.dffe_weights, self.dff_weight[None, :]]
+        )
+
+
 class PowerEstimator:
     """Per-netlist capacitance model + power computation.
 
@@ -85,6 +134,59 @@ class PowerEstimator:
                 f"net {netlist.net_names[bad]!r} has a non-finite switched "
                 f"capacitance ({self.net_cap_ff[bad]!r} fF) -- broken library"
             )
+
+    def cap_decomposition(self, tag_prefix: str | None = None) -> CapDecomposition:
+        """Split every counter row's capacitance by scaling component.
+
+        The per-row component sums reproduce the scalar model exactly:
+        ``net_weights.sum(axis=1) == net_cap_ff * selected``, DFFE rows
+        carry the DFFE clock cap, and the constant row carries the
+        selected DFF population's per-cycle clock cap -- so a product
+        against all-ones scales recovers :meth:`power_from_counts`'s
+        capacitances (up to float summation order).
+        """
+        lib = self.library
+        netlist = self.netlist
+        present = sorted({g.gtype.name for g in netlist.gates})
+        components = present + [WIRE_COMPONENT]
+        comp_id = {name: i for i, name in enumerate(components)}
+        wire = comp_id[WIRE_COMPONENT]
+
+        tag_sel = self._tag_mask(tag_prefix)
+        net_sel = tag_sel[self._net_tag_idx]
+        net_weights = np.zeros((netlist.num_nets, len(components)))
+        fanout = netlist.fanout_map()
+        for net in range(netlist.num_nets):
+            if not net_sel[net]:
+                continue
+            driver = netlist.driver_of(net)
+            if driver is not None:
+                net_weights[net, comp_id[driver.gtype.name]] += lib.output_cap[
+                    driver.gtype
+                ]
+            for gate_idx, _pin in fanout[net]:
+                reader = netlist.gates[gate_idx]
+                net_weights[net, comp_id[reader.gtype.name]] += lib.input_cap[
+                    reader.gtype
+                ]
+                net_weights[net, wire] += lib.wire_cap
+
+        dffe_weights = np.zeros((len(self.dffe_gates), len(components)))
+        if self.dffe_gates:
+            dffe_sel = tag_sel[self._dffe_tag_idx]
+            dffe_weights[dffe_sel, comp_id[GateType.DFFE.name]] = lib.dffe_clock_cap
+
+        dff_weight = np.zeros(len(components))
+        n_selected_dff = int(np.where(tag_sel, self._dff_tag_counts, 0).sum())
+        if n_selected_dff:
+            dff_weight[comp_id[GateType.DFF.name]] = n_selected_dff * lib.dff_clock_cap
+
+        return CapDecomposition(
+            components=components,
+            net_weights=net_weights,
+            dffe_weights=dffe_weights,
+            dff_weight=dff_weight,
+        )
 
     def theoretical_max_uw(self) -> float:
         """Hard physical ceiling on any power this estimator can report.

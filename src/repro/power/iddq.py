@@ -31,7 +31,57 @@ import numpy as np
 
 from ..logic.faults import FaultSite
 from ..logic.simulator import CycleSimulator
+from ..netlist.gates import GateType
 from ..netlist.netlist import Netlist
+from .library import PowerLibrary
+
+#: Per-gate-type quiescent (subthreshold) leakage current, nA per gate,
+#: loosely sized to the same 0.8-micron library as the capacitance tables
+#: (a few nA per gate -- orders of magnitude below the dynamic current,
+#: which is the paper's point about IDDQ blindness to SFR faults).  The
+#: fleet-calibration noise model uses these as the nominal IDDQ a tester
+#: subtracts from its total-current measurement.
+GATE_LEAK_NA: dict[GateType, float] = {
+    GateType.AND: 2.0,
+    GateType.OR: 2.0,
+    GateType.NAND: 1.6,
+    GateType.NOR: 1.6,
+    GateType.NOT: 1.0,
+    GateType.BUF: 1.4,
+    GateType.XOR: 3.0,
+    GateType.XNOR: 3.0,
+    GateType.MUX2: 2.6,
+    GateType.CONST0: 0.0,
+    GateType.CONST1: 0.0,
+    GateType.DFF: 4.0,
+    GateType.DFFE: 4.5,
+}
+
+
+def quiescent_leakage_components(
+    netlist: Netlist, library: PowerLibrary | None = None
+) -> dict[str, float]:
+    """Nominal fault-free quiescent leakage per gate type, in microwatts.
+
+    ``P_leak = Vdd * sum(I_leak)`` over every gate of the type.  Keyed by
+    gate-type name so the fleet kernel can align the vector with its
+    per-gate-type process-scale components (leakage spreads log-normally
+    with channel length and threshold voltage, like capacitance spreads
+    with etch -- but with its own, much wider, sigma).
+    """
+    vdd = (library or PowerLibrary()).vdd
+    out: dict[str, float] = {}
+    for gate in netlist.gates:
+        leak_na = GATE_LEAK_NA.get(gate.gtype, 0.0)
+        if leak_na:
+            # nA * V = nW; /1e3 -> uW
+            out[gate.gtype.name] = out.get(gate.gtype.name, 0.0) + leak_na * vdd / 1e3
+    return out
+
+
+def quiescent_leakage_uw(netlist: Netlist, library: PowerLibrary | None = None) -> float:
+    """Total nominal quiescent supply power of the fault-free chip, uW."""
+    return float(sum(quiescent_leakage_components(netlist, library).values()))
 
 
 @dataclass

@@ -77,6 +77,23 @@ def mc_campaign_params(
     }
 
 
+def _run_batch(
+    system: System, stim: NormalModeStimulus, fault: FaultSite | None
+) -> CycleSimulator:
+    """Simulate one batch stimulus and return the counting simulator."""
+    sim = CycleSimulator(
+        system.netlist,
+        stim.n_patterns,
+        faults=[fault] if fault else None,
+        count_toggles=True,
+    )
+    for cycle in range(stim.n_cycles):
+        stim.apply(sim, cycle)
+        sim.settle()
+        sim.latch()
+    return sim
+
+
 def measure_power(
     system: System,
     estimator: PowerEstimator,
@@ -97,17 +114,68 @@ def measure_power(
     else:
         n_cycles = system.cycles_for(iterations_window, hold_cycles)
         stim = NormalModeStimulus(system, data, n_cycles)
-    sim = CycleSimulator(
-        system.netlist,
-        stim.n_patterns,
-        faults=[fault] if fault else None,
-        count_toggles=True,
-    )
-    for cycle in range(stim.n_cycles):
-        stim.apply(sim, cycle)
-        sim.settle()
-        sim.latch()
+    sim = _run_batch(system, stim, fault)
     return estimator.power(sim, tag_prefix=tag_prefix)
+
+
+@dataclass
+class ActivityTrace:
+    """Per-batch integer activity counters of one Monte-Carlo run.
+
+    ``toggles[b]`` / ``load_events[b]`` are the exact per-net toggle and
+    per-DFFE load counters batch ``b`` accumulated -- the *integer*
+    sufficient statistic behind every float in the power pipeline.
+    Keeping the per-batch resolution (instead of a summed matrix) is
+    what makes recovery bit-identical: replaying
+    ``power_from_counts`` per batch and averaging visits the very same
+    float operands in the very same order as the original campaign
+    (see :func:`repro.fleet.activity.recovered_power_uw`).
+    """
+
+    toggles: np.ndarray  # (batches, num_nets) int64
+    load_events: np.ndarray  # (batches, n_dffe) int64
+    cycles: int  # settled cycles per batch
+    patterns: int  # patterns per batch
+
+    @property
+    def batches(self) -> int:
+        return int(self.toggles.shape[0])
+
+    def mean_activity(self) -> tuple[np.ndarray, np.ndarray]:
+        """Mean transitions per cycle-pattern: per-net and per-DFFE rows.
+
+        Integer sums divided once by the total ``batches * cycles *
+        patterns`` denominator -- exact integers in, one float divide
+        out.  These are the columns of the fleet activity matrix ``A``.
+        """
+        denom = float(self.batches * self.cycles * self.patterns)
+        return (
+            self.toggles.sum(axis=0, dtype=np.int64) / denom,
+            self.load_events.sum(axis=0, dtype=np.int64) / denom,
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "toggles": self.toggles.tolist(),
+            "load_events": self.load_events.tolist(),
+            "cycles": self.cycles,
+            "patterns": self.patterns,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ActivityTrace":
+        def rows(key: str) -> np.ndarray:
+            arr = np.asarray(data[key], dtype=np.int64)
+            if arr.ndim == 1:  # no batches, or zero counters per batch
+                arr = arr.reshape(len(data[key]), 0)
+            return arr
+
+        return cls(
+            toggles=rows("toggles"),
+            load_events=rows("load_events"),
+            cycles=int(data["cycles"]),
+            patterns=int(data["patterns"]),
+        )
 
 
 @dataclass
@@ -119,6 +187,13 @@ class MonteCarloResult:
     patterns: int
     history: list[float] = field(default_factory=list)
     converged: bool = True
+    #: per-batch integer counters (only with ``capture_activity=True``);
+    #: deliberately excluded from the JSON forms below so journals, the
+    #: grading store artifact and checkpoints are unchanged -- activity
+    #: persists through its own store artifact (:mod:`repro.fleet`).
+    activity: "ActivityTrace | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def to_json_dict(self) -> dict:
         """JSON-safe form for campaign checkpoints.
@@ -245,6 +320,7 @@ def monte_carlo_power(
     iterations_window: int = MC_DEFAULT_ITERATIONS_WINDOW,
     hold_cycles: int = 3,
     batches: list[NormalModeStimulus] | None = None,
+    capture_activity: bool = False,
 ) -> MonteCarloResult:
     """Run random batches until the cumulative mean power converges.
 
@@ -255,6 +331,12 @@ def monte_carlo_power(
     batch stimuli across the fault-free baseline and every faulted run;
     ``seed``/``batch_patterns`` are then ignored in favour of the
     precomputed data.
+
+    With ``capture_activity=True`` the result additionally carries an
+    :class:`ActivityTrace` of the per-batch integer counters every float
+    was derived from; powers, histories and convergence are bit-identical
+    either way (the capture path runs the very same simulations and the
+    very same float pipeline -- it only snapshots the counters).
     """
     if batch_patterns < 1 or max_batches < 1 or min_batches < 1:
         raise ValueError(
@@ -280,15 +362,35 @@ def monte_carlo_power(
 
     totals: list[float] = []
     history: list[float] = []
-    for batch in range(1, max_batches + 1):
-        result = measure_power(
-            system,
-            estimator,
-            batch_stim(batch),
-            fault=fault,
-            iterations_window=iterations_window,
-            hold_cycles=hold_cycles,
+    act_toggles: list[np.ndarray] = []
+    act_loads: list[np.ndarray] = []
+
+    def _trace(result: PowerResult) -> "ActivityTrace | None":
+        if not capture_activity:
+            return None
+        return ActivityTrace(
+            toggles=np.stack(act_toggles),
+            load_events=np.stack(act_loads),
+            cycles=result.cycles,
+            patterns=result.patterns,
         )
+
+    for batch in range(1, max_batches + 1):
+        if capture_activity:
+            sim = _run_batch(system, batch_stim(batch), fault)
+            toggles, loads = sim.counter_snapshot()
+            act_toggles.append(toggles)
+            act_loads.append(loads)
+            result = estimator.power(sim, tag_prefix=DATAPATH_TAG)
+        else:
+            result = measure_power(
+                system,
+                estimator,
+                batch_stim(batch),
+                fault=fault,
+                iterations_window=iterations_window,
+                hold_cycles=hold_cycles,
+            )
         # Accumulation boundary guard: one bad batch must be caught here,
         # where it enters, not after it has been averaged into the final
         # table (a NaN poisons every later mean silently).
@@ -308,6 +410,7 @@ def monte_carlo_power(
                     batches=batch,
                     patterns=batch * result.patterns,
                     history=history,
+                    activity=_trace(result),
                 )
     return MonteCarloResult(
         power_uw=float(np.mean(totals)),
@@ -315,6 +418,7 @@ def monte_carlo_power(
         patterns=max_batches * (result.patterns if totals else 0),
         history=history,
         converged=False,
+        activity=_trace(result) if totals else None,
     )
 
 
@@ -331,10 +435,19 @@ class _FlatBlockKernel:
     rebuilds a narrower kernel when convergence compacts faults out.
     """
 
-    def __init__(self, system: System, estimator: PowerEstimator, faults: list[FaultSite]):
+    def __init__(
+        self,
+        system: System,
+        estimator: PowerEstimator,
+        faults: list[FaultSite],
+        capture: bool = False,
+    ):
         self.system = system
         self.estimator = estimator
         self.faults = list(faults)
+        self.capture = capture
+        #: per-block counter snapshot of the last ``run`` (capture mode)
+        self.last_counts: tuple[np.ndarray, np.ndarray] | None = None
         self.sim: CycleSimulator | None = None
 
     def run(self, stim: NormalModeStimulus, tag_prefix: str | None) -> list[PowerResult]:
@@ -362,6 +475,8 @@ class _FlatBlockKernel:
             stim.apply(self.tiled, cycle)
             sim.settle()
             sim.latch()
+        if self.capture:
+            self.last_counts = sim.counter_snapshot()
         return self.estimator.power_blocks(sim, tag_prefix=tag_prefix)
 
 
@@ -423,11 +538,15 @@ class _ConeBlockKernel:
         estimator: PowerEstimator,
         faults: list[FaultSite],
         cones,
+        capture: bool = False,
     ):
         self.system = system
         self.estimator = estimator
         self.faults = list(faults)
         self.cones = cones
+        self.capture = capture
+        #: per-block counter snapshot of the last ``run`` (capture mode)
+        self.last_counts: tuple[np.ndarray, np.ndarray] | None = None
         self.cs = None
 
     def _build(self, wpb: int) -> None:
@@ -494,6 +613,10 @@ class _ConeBlockKernel:
         for group in cs.seq_subs:
             if group.dffe_rows is not None:
                 loads[:, group.dffe_rows] = sim.load_events[:, group.dffe_rows]
+        if self.capture:
+            # The spliced arrays above are freshly allocated each run, so
+            # they are safe to hand out without another copy.
+            self.last_counts = (toggles, loads)
         results = []
         for b in range(n_blocks):
             estimator._check_counters(
@@ -520,6 +643,7 @@ def monte_carlo_power_block(
     hold_cycles: int = 3,
     batches: list[NormalModeStimulus] | None = None,
     cone_power: bool = True,
+    capture_activity: bool = False,
 ) -> list[MonteCarloResult]:
     """Monte-Carlo power of a whole fault chunk in block-parallel passes.
 
@@ -529,6 +653,9 @@ def monte_carlo_power_block(
     batch is one wide simulation over the still-unconverged faults
     (converged faults are compacted out, exactly mirroring the serial
     loop's early return), flat or cone-restricted per ``cone_power``.
+    With ``capture_activity=True`` each result also carries its
+    :class:`ActivityTrace` of per-batch integer counters (the counters
+    the kernels already accumulate -- capture only snapshots them).
 
     Batches whose pattern count is not a multiple of the 64-bit word
     size cannot be block-partitioned and fall back to the serial
@@ -561,6 +688,7 @@ def monte_carlo_power_block(
                 iterations_window=iterations_window,
                 hold_cycles=hold_cycles,
                 batches=batches,
+                capture_activity=capture_activity,
             )
             for fault in faults
         ]
@@ -583,7 +711,22 @@ def monte_carlo_power_block(
     n_faults = len(faults)
     totals: list[list[float]] = [[] for _ in range(n_faults)]
     history: list[list[float]] = [[] for _ in range(n_faults)]
+    act_toggles: list[list[np.ndarray]] = [[] for _ in range(n_faults)]
+    act_loads: list[list[np.ndarray]] = [[] for _ in range(n_faults)]
+    act_shape: list[tuple[int, int]] = [(0, 0)] * n_faults  # (cycles, patterns)
     final: list[MonteCarloResult | None] = [None] * n_faults
+
+    def _trace(i: int) -> "ActivityTrace | None":
+        if not capture_activity:
+            return None
+        cycles, patterns = act_shape[i]
+        return ActivityTrace(
+            toggles=np.stack(act_toggles[i]),
+            load_events=np.stack(act_loads[i]),
+            cycles=cycles,
+            patterns=patterns,
+        )
+
     live = list(range(n_faults))
     kernel = None
     kernel_live: list[int] = []
@@ -595,9 +738,9 @@ def monte_carlo_power_block(
             # previous batch's simulator (state reset, counters zeroed).
             live_faults = [faults[i] for i in live]
             kernel = (
-                _ConeBlockKernel(system, estimator, live_faults, cones)
+                _ConeBlockKernel(system, estimator, live_faults, cones, capture_activity)
                 if cone_power
-                else _FlatBlockKernel(system, estimator, live_faults)
+                else _FlatBlockKernel(system, estimator, live_faults, capture_activity)
             )
             kernel_live = list(live)
         powers = kernel.run(stim, DATAPATH_TAG)
@@ -611,6 +754,11 @@ def monte_carlo_power_block(
                     f"Monte-Carlo batch {batch} produced an unusable power "
                     f"{result.total_uw!r} uW (fault={faults[i]!r})"
                 )
+            if capture_activity:
+                assert kernel.last_counts is not None
+                act_toggles[i].append(kernel.last_counts[0][pos])
+                act_loads[i].append(kernel.last_counts[1][pos])
+                act_shape[i] = (result.cycles, result.patterns)
             totals[i].append(result.total_uw)
             mean = float(np.mean(totals[i]))
             history[i].append(mean)
@@ -622,6 +770,7 @@ def monte_carlo_power_block(
                         batches=batch,
                         patterns=batch * result.patterns,
                         history=history[i],
+                        activity=_trace(i),
                     )
                     continue
             survivors.append(i)
@@ -635,6 +784,7 @@ def monte_carlo_power_block(
             patterns=max_batches * patterns_per_batch,
             history=history[i],
             converged=False,
+            activity=_trace(i),
         )
     assert all(r is not None for r in final)
     return final  # type: ignore[return-value]

@@ -29,6 +29,13 @@ Stage payload shapes (``kind`` -> canonical-JSON dict):
   (:func:`~repro.store.fingerprint.netlist_payload`) keyed by
   fingerprint, so ``--baseline <fingerprint>`` and ``--baseline auto``
   can reconstruct the baseline design from the store alone
+* ``activity``: ``{"baseline": {"mc": mc_json, "activity": trace_json},
+  "faults": {fault_key: same}}`` -- one campaign's converged per-fault
+  integer activity counters (see :mod:`repro.fleet.activity`); a warm
+  fleet calibration replays these with zero re-simulation
+* ``fleet``: one :meth:`~repro.fleet.FleetResult.to_json_dict` payload
+  keyed by campaign identity plus the fleet configuration, so a warm
+  repeat of the same calibration skips even the population matmul
 """
 
 from __future__ import annotations

@@ -19,6 +19,9 @@ Endpoints::
          ?threshold=0.05                select/compute at a threshold
          ?verdict=SFR                   filter the per-fault rows
     GET  /campaigns/<design>/faults     just the fault rows (same filters)
+    GET  /campaigns/<design>/calibrate  fleet-scale threshold ROC (compute
+         ?instances=100000              hook required; coalesced per fleet
+         &sigma_cap=0.05&seed=7 ...     configuration -- see docs/store.md)
     GET  /fabric                        shard-fabric topology and health
                                         (404 on a plain single-file store)
     POST /designs/validate              fail-fast validation of an uploaded
@@ -56,6 +59,7 @@ from .service import (
     DEFAULT_QUEUE_DEPTH,
     DEFAULT_THRESHOLD,
     DEFAULT_WORKERS,
+    CalibrateFn,
     CampaignService,
     ComputeFn,
 )
@@ -63,6 +67,7 @@ from .service import (
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "CalibrateFn",
     "ComputeFn",
     "DEFAULT_THRESHOLD",
     "StoreHTTPServer",
@@ -259,6 +264,9 @@ class _Handler(BaseHTTPRequestHandler):
                 f"bad verdict {verdict!r}: must be one of {list(QUERY_VERDICTS)}",
             )
             return
+        if len(parts) == 3 and parts[2] == "calibrate":
+            self._calibrate(design, params)
+            return
         report = svc.campaign(design, threshold)
         if report is None:
             self._error(
@@ -276,6 +284,89 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if verdict is not None:
             report = dict(report, matched_faults=_fault_rows(report, verdict))
+        self._send(200, report)
+
+    #: fleet query parameters: name -> (parser, validator description)
+    _CALIBRATE_INT = ("instances", "seed")
+    _CALIBRATE_SIGMA = ("sigma_cap", "sigma_leak", "sigma_meas", "yield_budget")
+
+    def _calibrate(self, design: str, params: dict[str, str]) -> None:
+        """``GET /campaigns/<design>/calibrate`` -- fleet threshold ROC.
+
+        Fleet knobs arrive as query parameters and are validated at the
+        HTTP boundary (bad input never reaches a worker); the job is
+        coalesced per (design, configuration) fingerprint by the service.
+        """
+        svc = self.service
+        fleet: dict = {}
+        known = set(self._CALIBRATE_INT) | set(self._CALIBRATE_SIGMA) | {"engine"}
+        unknown = set(params) - known
+        if unknown:
+            self._error(
+                400,
+                "InputValidationError",
+                f"unknown calibrate parameter(s) {sorted(unknown)}; "
+                f"choose from {sorted(known)}",
+            )
+            return
+        for name in self._CALIBRATE_INT:
+            if name in params:
+                try:
+                    value = int(params[name])
+                except ValueError:
+                    self._error(
+                        400,
+                        "InputValidationError",
+                        f"bad {name} {params[name]!r}: expected an integer",
+                    )
+                    return
+                if value < 0 or (name == "instances" and value < 1):
+                    self._error(
+                        400,
+                        "InputValidationError",
+                        f"bad {name} {value}: must be "
+                        f"{'>= 1' if name == 'instances' else '>= 0'}",
+                    )
+                    return
+                fleet[name] = value
+        for name in self._CALIBRATE_SIGMA:
+            if name in params:
+                try:
+                    value = float(params[name])
+                except ValueError:
+                    self._error(
+                        400,
+                        "InputValidationError",
+                        f"bad {name} {params[name]!r}: expected a number",
+                    )
+                    return
+                if not 0 <= value < 1:
+                    self._error(
+                        400,
+                        "InputValidationError",
+                        f"bad {name} {value}: must be a fraction in [0, 1)",
+                    )
+                    return
+                fleet[name] = value
+        if "engine" in params:
+            if params["engine"] not in ("rowwise", "factored"):
+                self._error(
+                    400,
+                    "InputValidationError",
+                    f"bad engine {params['engine']!r}: must be 'rowwise' or "
+                    f"'factored'",
+                )
+                return
+            fleet["engine"] = params["engine"]
+        report = svc.calibrate(design, fleet)
+        if report is None:
+            self._error(
+                404,
+                "NotCached",
+                f"fleet calibration for {design!r} needs the compute hook, "
+                f"which is disabled on this server",
+            )
+            return
         self._send(200, report)
 
     def _validate_upload(self, params: dict[str, str]) -> None:
@@ -319,6 +410,7 @@ def make_server(
     port: int,
     store: CampaignStore,
     compute: ComputeFn | None = None,
+    compute_calibrate: CalibrateFn | None = None,
     designs: tuple[str, ...] = (),
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
     workers: int = DEFAULT_WORKERS,
@@ -330,6 +422,7 @@ def make_server(
         service = CampaignService(
             store,
             compute=compute,
+            compute_calibrate=compute_calibrate,
             designs=designs,
             queue_depth=queue_depth,
             workers=workers,

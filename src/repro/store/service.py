@@ -73,6 +73,9 @@ logger = logging.getLogger(__name__)
 #: compute-on-miss hook: (design, threshold) -> report dict (already published)
 ComputeFn = Callable[[str, float], dict]
 
+#: fleet-calibration hook: (design, fleet params dict) -> report dict
+CalibrateFn = Callable[[str, dict], dict]
+
 DEFAULT_THRESHOLD = 0.05
 DEFAULT_QUEUE_DEPTH = 8
 DEFAULT_WORKERS = 2
@@ -103,8 +106,13 @@ class WorkerKilled(BaseException):
 
 
 def job_key(design: str, threshold: float) -> str:
-    """Coalescing fingerprint of one compute job."""
+    """Coalescing fingerprint of one campaign compute job."""
     return digest({"job": "campaign", "design": design, "threshold": threshold})
+
+
+def calibrate_job_key(design: str, params: dict) -> str:
+    """Coalescing fingerprint of one fleet-calibration job."""
+    return digest({"job": "calibrate", "design": design, "params": params})
 
 
 @dataclass
@@ -114,6 +122,10 @@ class Job:
     key: str
     design: str
     threshold: float
+    #: which compute hook runs this job: "campaign" or "calibrate"
+    kind: str = "campaign"
+    #: kind-specific parameters (fleet configuration for "calibrate")
+    params: dict = field(default_factory=dict)
     done: threading.Event = field(default_factory=threading.Event)
     report: dict | None = None
     error: BaseException | None = None
@@ -141,6 +153,7 @@ class CampaignService:
         self,
         store: CampaignStore,
         compute: ComputeFn | None = None,
+        compute_calibrate: CalibrateFn | None = None,
         designs: tuple[str, ...] = (),
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         workers: int = DEFAULT_WORKERS,
@@ -158,6 +171,7 @@ class CampaignService:
     ):
         self.store = store
         self.compute = compute
+        self.compute_calibrate = compute_calibrate
         self.designs = designs
         self.queue_depth = queue_depth
         self.workers = workers
@@ -345,11 +359,35 @@ class CampaignService:
         if self.compute is None:
             return None
         effective = threshold if threshold is not None else self.default_threshold
-        job = self._admit(design, effective)
+        job = self._admit(
+            Job(key=job_key(design, effective), design=design, threshold=effective)
+        )
         return self._await(job)
 
-    def _admit(self, design: str, threshold: float) -> Job:
-        key = job_key(design, threshold)
+    def calibrate(self, design: str, params: dict) -> dict | None:
+        """Fleet-calibration report for a design (compute hook required).
+
+        Calibrate jobs ride the same machinery as campaign computes:
+        per-configuration coalescing (the job key fingerprints the fleet
+        parameters), bounded admission, deadlines, retries and drain.
+        The hook itself is store-aware, so a warm store makes the job a
+        pure replay.  Returns None when no calibrate hook is wired.
+        """
+        if self.compute_calibrate is None:
+            return None
+        job = self._admit(
+            Job(
+                key=calibrate_job_key(design, params),
+                design=design,
+                threshold=self.default_threshold,
+                kind="calibrate",
+                params=params,
+            )
+        )
+        return self._await(job)
+
+    def _admit(self, new_job: Job) -> Job:
+        key = new_job.key
         with self._lock:
             if self._draining or self._stopped:
                 raise ServiceOverloaded(
@@ -373,7 +411,7 @@ class CampaignService:
                 # wedged one; the stray attempt clears this when it ends.
                 self.deadline_expired += 1
                 raise DeadlineExceeded(
-                    f"campaign {design!r} @ threshold {threshold} is quarantined "
+                    f"{new_job.kind} job for {new_job.design!r} is quarantined "
                     f"after a deadline expiry; retry once the job clears"
                 )
             job = self._jobs.get(key)
@@ -387,7 +425,8 @@ class CampaignService:
                     f"compute queue is full ({self.queue_depth} jobs admitted)",
                     retry_after=max(1.0, self.request_timeout or 1.0),
                 )
-            job = Job(key=key, design=design, threshold=threshold, waiters=1)
+            job = new_job
+            job.waiters = 1
             self._jobs[key] = job
         self._queue.put(job)
         self.start()
@@ -562,8 +601,12 @@ class CampaignService:
 
     def _attempt(self, job: Job, holder: dict, attempt_done: threading.Event) -> None:
         try:
-            assert self.compute is not None
-            holder["report"] = self.compute(job.design, job.threshold)
+            if job.kind == "calibrate":
+                assert self.compute_calibrate is not None
+                holder["report"] = self.compute_calibrate(job.design, job.params)
+            else:
+                assert self.compute is not None
+                holder["report"] = self.compute(job.design, job.threshold)
         except BaseException as exc:  # noqa: BLE001 - ferried to the waiters
             holder["error"] = exc
         finally:

@@ -241,3 +241,82 @@ class TestMonteCarloSerialization:
         )
         with pytest.raises(IntegrityError, match="non-finite"):
             res.to_json()
+
+
+class TestCounterEquivalence:
+    """The integer activity counters are a sufficient statistic.
+
+    ``power_from_counts`` replayed per batch must reproduce the float
+    power path bit-identically -- same operands, same order -- on every
+    paper design, for the flat and block-parallel kernels, and
+    regardless of how faults are chunked into toggle blocks.
+    """
+
+    @pytest.mark.parametrize(
+        "system_fixture", ["diffeq_system", "facet_system", "poly_system"]
+    )
+    def test_counts_recover_flat_power_bit_identically(self, request, system_fixture):
+        from repro.fleet import recovered_power_uw
+        from repro.power.montecarlo import monte_carlo_power
+
+        system = request.getfixturevalue(system_fixture)
+        est = PowerEstimator(system.netlist)
+        res = monte_carlo_power(
+            system, est, seed=11, batch_patterns=64, max_batches=3,
+            capture_activity=True,
+        )
+        trace = res.activity
+        assert trace is not None
+        assert trace.toggles.shape == (trace.batches, system.netlist.num_nets)
+        assert trace.load_events.shape == (trace.batches, len(est.dffe_gates))
+        # Per-batch totals replayed from the counters reproduce the whole
+        # convergence history, not just the final mean.
+        totals = [
+            est.power_from_counts(
+                trace.toggles[b],
+                trace.load_events[b],
+                trace.cycles,
+                trace.patterns,
+                "dp",
+            ).total_uw
+            for b in range(trace.batches)
+        ]
+        for k in range(1, len(totals) + 1):
+            assert float(np.mean(totals[:k])) == res.history[k - 1]
+        assert recovered_power_uw(est, trace) == res.power_uw
+
+    @pytest.mark.parametrize("chunks", [[6], [2, 3, 1], [1] * 6])
+    def test_block_counts_invariant_to_chunk_shape(self, facet_faultsim_setup, chunks):
+        from repro.fleet import recovered_power_uw
+        from repro.power.montecarlo import monte_carlo_power_block
+
+        system, _, _, _, faults = facet_faultsim_setup
+        sites = faults[:6]
+        assert sum(chunks) == len(sites)
+        est = PowerEstimator(system.netlist)
+
+        def run(groups):
+            out = []
+            for group in groups:
+                out.extend(
+                    monte_carlo_power_block(
+                        system, est, group, seed=11, batch_patterns=64,
+                        max_batches=3, capture_activity=True,
+                    )
+                )
+            return out
+
+        whole = run([sites])
+        split, start = [], 0
+        for n in chunks:
+            split.append(sites[start : start + n])
+            start += n
+        regrouped = run(split)
+        for a, b in zip(whole, regrouped):
+            assert a.power_uw == b.power_uw
+            assert a.activity is not None and b.activity is not None
+            np.testing.assert_array_equal(a.activity.toggles, b.activity.toggles)
+            np.testing.assert_array_equal(
+                a.activity.load_events, b.activity.load_events
+            )
+            assert recovered_power_uw(est, a.activity) == a.power_uw
